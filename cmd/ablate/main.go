@@ -1,0 +1,61 @@
+// Command ablate runs the ablation studies behind the design choices
+// DESIGN.md calls out: bounce-corner-turn ordering, EO block height,
+// database_g granularity, transfer staging strategy, task tile extent, and
+// the Linpack blocking factor NB the paper chose empirically (1216).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tianhe/internal/bench"
+	"tianhe/internal/experiments"
+	"tianhe/internal/perfmodel"
+)
+
+func main() {
+	fmt.Println("Ablation 1 — task ordering (16384x16384x4096 DGEMM, reuse machinery off/on)")
+	gb, sec := experiments.AblationOrdering(16384, 16384, 4096)
+	for i, name := range []string{"row-major, no cache", "bounce corner turn + cache"} {
+		g, _ := gb.Y(float64(i))
+		s, _ := sec.Y(float64(i))
+		fmt.Printf("  %-28s %7.2f GB in   %7.3f s\n", name, g, s)
+	}
+
+	fmt.Println("\nAblation 2 — EO block height H (Fig. 6 double buffers)")
+	bench.Table(os.Stdout, "H rows", "GFLOPS", experiments.AblationBlockRows(nil))
+
+	fmt.Println("\nAblation 3 — database_g bucket count J (Section IV.B)")
+	bench.Table(os.Stdout, "J buckets", "GFLOPS", experiments.AblationBuckets(nil))
+
+	fmt.Println("\nAblation 4 — CPU-GPU staging strategy (Section V.A)")
+	st := experiments.AblationStaging()
+	for i, label := range experiments.StagingLabels {
+		v, _ := st.Y(float64(i))
+		fmt.Printf("  %-30s %8.1f GFLOPS\n", label, v)
+	}
+
+	fmt.Println("\nAblation 5 — task tile extent")
+	bench.Table(os.Stdout, "tile", "GFLOPS", experiments.AblationTile(nil))
+
+	fmt.Println("\nAblation 6 — Linpack blocking factor NB (paper chose 1216)")
+	bench.Table(os.Stdout, "NB", "GFLOPS", experiments.AblationNB(nil))
+
+	fmt.Println("\nAblation 7 — value of the second mapping level (database_c, Section IV.A)")
+	for _, xeon := range []perfmodel.Xeon{perfmodel.XeonE5540, perfmodel.XeonE5450} {
+		r := experiments.Level2Study(xeon, experiments.DefaultSeed)
+		fmt.Printf("  %s: equal splits %.4f s, adaptive %.4f s  ->  %+.2f%%  (splits %v)\n",
+			xeon, r.EqualSeconds, r.AdaptiveSeconds, r.Gain*100, fmtSplits(r.Splits))
+	}
+}
+
+func fmtSplits(s []float64) string {
+	out := "["
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", v)
+	}
+	return out + "]"
+}

@@ -1,0 +1,36 @@
+// Command cabinetbench regenerates Figure 11 of the paper: Linpack
+// performance by process count within one cabinet, comparing the adaptive
+// mapping against the Qilin-style trained mapping, plus the training-cost
+// accounting of Section VI.C (two hours and 37 kWh per cabinet, 2960 kWh on
+// the full 80-cabinet machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tianhe/internal/bench"
+	"tianhe/internal/experiments"
+	"tianhe/internal/perfmodel"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	flag.Parse()
+
+	fmt.Println("Figure 11 — performance by number of processes within a single cabinet")
+	fmt.Println()
+	ours, qilin := experiments.Fig11(*seed, nil)
+	bench.Table(os.Stdout, "processes", "GFLOPS", ours, qilin)
+	fmt.Println()
+
+	o, _ := ours.Y(64)
+	q, _ := qilin.Y(64)
+	fmt.Printf("adaptive advantage at 64 processes: %+.2f%%   (paper: +15.56%%)\n", (o/q-1)*100)
+	fmt.Println()
+	fmt.Printf("Qilin training cost: %.0f h at %.1f kW per cabinet = %.0f kWh/cabinet (paper: 37 kWh)\n",
+		perfmodel.TrainingHours, perfmodel.CabinetPowerKW, perfmodel.TrainingEnergyKWh(1))
+	fmt.Printf("on the full 80-cabinet configuration: %.0f kWh (paper: 2,960 kWh)\n",
+		perfmodel.TrainingEnergyKWh(80))
+}

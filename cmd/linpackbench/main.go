@@ -1,0 +1,107 @@
+// Command linpackbench regenerates Figures 9 and 10 of the paper: Linpack
+// performance by problem size on a single compute element for the five
+// configurations, the headline factors at N = 46000 (196.7 GFLOPS, 70.1% of
+// peak, 3.3x the vendor library, 5.49x host-only), and — with -splits — the
+// database_g snapshot of Figure 10 (GPU split ratio by workload).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/bench"
+	"tianhe/internal/element"
+	"tianhe/internal/experiments"
+	"tianhe/internal/linpacksim"
+	"tianhe/internal/perfmodel"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	splits := flag.Bool("splits", false, "print Figure 10 (GSplit by workload) instead of Figure 9")
+	n := flag.Int("n", 46080, "problem size for the headline numbers / split snapshot")
+	dbFile := flag.String("db", "", "persist database_g across runs: load it before an ACMLG+both run at -n and save the adapted state back (the paper's cross-run workflow)")
+	flag.Parse()
+
+	if *dbFile != "" {
+		persistedRun(*seed, *n, *dbFile)
+		return
+	}
+	if *splits {
+		fig10(*seed, *n)
+		return
+	}
+
+	fmt.Println("Figure 9 — Linpack performance by problem size (single compute element)")
+	fmt.Println()
+	series := experiments.Fig9(*seed, nil)
+	bench.Table(os.Stdout, "N", "GFLOPS", series...)
+	fmt.Println()
+
+	get := func(name string) float64 {
+		for _, s := range series {
+			if s.Name == name {
+				return s.Last().Y
+			}
+		}
+		return 0
+	}
+	cpu, acmlg, both := get("CPU"), get("ACMLG"), get("ACMLG+both")
+	fmt.Printf("optimized Linpack:        %7.1f GFLOPS   (paper: 196.7)\n", both)
+	fmt.Printf("fraction of element peak: %7.1f %%        (paper: 70.1%%, peak %.1f GFLOPS)\n",
+		both/perfmodel.ElementPeakGFLOPS*100, perfmodel.ElementPeakGFLOPS)
+	fmt.Printf("speedup over vendor lib:  %7.2f x        (paper: 3.3x)\n", both/acmlg)
+	fmt.Printf("speedup over host-only:   %7.2f x        (paper: 5.49x)\n", both/cpu)
+}
+
+// persistedRun executes one adaptive Linpack with database_g loaded from
+// (and saved back to) dbFile, so successive invocations start from the
+// previous run's learned splits.
+func persistedRun(seed uint64, n int, dbFile string) {
+	var part *adaptive.Adaptive
+	el := element.New(element.Config{Seed: seed, Virtual: true})
+	if blob, err := os.ReadFile(dbFile); err == nil {
+		var g adaptive.DatabaseG
+		if err := json.Unmarshal(blob, &g); err != nil {
+			fmt.Fprintf(os.Stderr, "linpackbench: corrupt database %s: %v\n", dbFile, err)
+			os.Exit(1)
+		}
+		part = adaptive.NewAdaptiveFromDatabase(&g, el.CPU.NumCores())
+		fmt.Printf("loaded database_g from %s\n", dbFile)
+	} else {
+		fmt.Printf("no database at %s; starting from the 0.889 peak ratio\n", dbFile)
+	}
+	cfg := linpacksim.Config{N: n, Variant: element.ACMLGBoth, Seed: seed}
+	if part != nil {
+		cfg.Part = part
+	}
+	res := linpacksim.Run(cfg)
+	fmt.Printf("N=%d NB=%d: %.1f GFLOPS\n", res.N, res.NB, res.GFLOPS)
+	blob, err := json.MarshalIndent(res.Part.(*adaptive.Adaptive).G, "", "  ")
+	if err == nil {
+		err = os.WriteFile(dbFile, blob, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linpackbench: saving database: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved adapted database_g to %s\n", dbFile)
+}
+
+func fig10(seed uint64, n int) {
+	fmt.Println("Figure 10 — GPU split ratio by workload (database_g after one Linpack run)")
+	fmt.Println()
+	entries, initial := experiments.Fig10(seed, n)
+	fmt.Printf("initial value (peak ratio): %.3f   (paper: 0.889)\n\n", initial)
+	fmt.Printf("%-24s %-10s %s\n", "workload bucket (Gflop)", "GSplit", "state")
+	for _, e := range entries {
+		state := "initial"
+		if e.Touched {
+			state = "adapted"
+		}
+		fmt.Printf("(%9.1f, %9.1f]  %8.4f   %s\n", e.WorkLo/1e9, e.WorkHi/1e9, e.Split, state)
+	}
+}

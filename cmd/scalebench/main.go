@@ -1,0 +1,65 @@
+// Command scalebench regenerates Figures 12 and 13 of the paper: Linpack
+// performance scaling from one cabinet (8.02 TFLOPS) to the full 80-cabinet
+// TianHe-1 (563.1 TFLOPS, 87.76% scaling efficiency), and — with -progress —
+// the cumulative-performance-versus-progress curve of the full-machine run,
+// including the endgame drop the paper highlights (604.74 TFLOPS at 97.17%
+// progress falling to 563.1 at completion).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tianhe/internal/bench"
+	"tianhe/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	progress := flag.Bool("progress", false, "print Figure 13 (full-machine progress curve) instead of Figure 12")
+	flag.Parse()
+
+	if *progress {
+		fig13(*seed)
+		return
+	}
+
+	fmt.Println("Figure 12 — performance scaling by cabinets (GPU down-clocked to 575 MHz)")
+	fmt.Println()
+	s := experiments.Fig12(*seed, nil)
+	bench.Table(os.Stdout, "cabinets", "TFLOPS", s)
+	fmt.Println()
+	one, _ := s.Y(1)
+	eighty, _ := s.Y(80)
+	fmt.Printf("one cabinet:        %7.2f TFLOPS   (paper: 8.02)\n", one)
+	fmt.Printf("80 cabinets:        %7.2f TFLOPS   (paper: 563.1)\n", eighty)
+	fmt.Printf("scaling efficiency: %7.2f %%        (paper: 87.76%%)\n", eighty/(80*one)*100)
+}
+
+func fig13(seed uint64) {
+	fmt.Println("Figure 13 — Linpack progress on the full TianHe-1 configuration")
+	fmt.Println()
+	pts := experiments.Fig13(seed)
+	marks := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.9717, 0.99, 1.0}
+	fmt.Printf("%-12s %s\n", "progress", "cumulative TFLOPS")
+	mi := 0
+	for _, p := range pts {
+		for mi < len(marks) && p.Frac >= marks[mi] {
+			fmt.Printf("%9.2f %%  %10.2f\n", p.Frac*100, p.CumTFLOPS)
+			mi++
+		}
+	}
+	final := pts[len(pts)-1].CumTFLOPS
+	var at97 float64
+	for _, p := range pts {
+		if p.Frac >= 0.9717 {
+			at97 = p.CumTFLOPS
+			break
+		}
+	}
+	fmt.Println()
+	fmt.Printf("at 97.17%% progress: %7.2f TFLOPS   (paper: 604.74)\n", at97)
+	fmt.Printf("final:              %7.2f TFLOPS   (paper: 563.1)\n", final)
+	fmt.Printf("endgame drop:       %7.2f TFLOPS   (paper: ~41.6)\n", at97-final)
+}

@@ -1,0 +1,3 @@
+module tianhe
+
+go 1.22

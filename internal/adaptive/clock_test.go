@@ -1,0 +1,8 @@
+package adaptive
+
+import "time"
+
+// nowNanos isolates the single wall-clock dependency of the test suite (the
+// overhead sanity check); everything else in the repository runs on virtual
+// time.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,55 @@
+package blas
+
+import "tianhe/internal/matrix"
+
+// Dlaswp applies a sequence of row interchanges to a: for k = k0..k1-1 the
+// row k is swapped with row ipiv[k]. ipiv holds absolute zero-based row
+// indices, the convention Dgetf2 produces. Swapping row k with itself is a
+// no-op, so identity pivots cost nothing.
+func Dlaswp(a *matrix.Dense, ipiv []int, k0, k1 int) {
+	if k0 < 0 || k1 > len(ipiv) || k0 > k1 {
+		panic("blas: Dlaswp pivot range out of bounds")
+	}
+	for k := k0; k < k1; k++ {
+		p := ipiv[k]
+		if p == k {
+			continue
+		}
+		if p < 0 || p >= a.Rows || k >= a.Rows {
+			panic("blas: Dlaswp pivot index out of matrix")
+		}
+		for j := 0; j < a.Cols; j++ {
+			col := a.Col(j)
+			col[k], col[p] = col[p], col[k]
+		}
+	}
+}
+
+// DlaswpInverse applies the interchanges in reverse order, undoing a prior
+// Dlaswp with the same arguments.
+func DlaswpInverse(a *matrix.Dense, ipiv []int, k0, k1 int) {
+	if k0 < 0 || k1 > len(ipiv) || k0 > k1 {
+		panic("blas: DlaswpInverse pivot range out of bounds")
+	}
+	for k := k1 - 1; k >= k0; k-- {
+		p := ipiv[k]
+		if p == k {
+			continue
+		}
+		for j := 0; j < a.Cols; j++ {
+			col := a.Col(j)
+			col[k], col[p] = col[p], col[k]
+		}
+	}
+}
+
+// SwapRows exchanges rows i and p across all columns of a.
+func SwapRows(a *matrix.Dense, i, p int) {
+	if i == p {
+		return
+	}
+	for j := 0; j < a.Cols; j++ {
+		col := a.Col(j)
+		col[i], col[p] = col[p], col[i]
+	}
+}

@@ -1,0 +1,80 @@
+package blas
+
+import "tianhe/internal/matrix"
+
+// Dtrsm solves a triangular system with multiple right-hand sides in place:
+//
+//	Left:  op(A) * X = alpha * B
+//	Right: X * op(A) = alpha * B
+//
+// X overwrites B. A must be square with the order matching the chosen side.
+// All sixteen (side, uplo, trans, diag) combinations are supported; HPL's
+// hot path is (Left, Lower, NoTrans, Unit) for the U12 update and the Right
+// cases appear in the row-broadcast variants.
+func Dtrsm(side Side, uplo Uplo, tA Transpose, diag Diag, alpha float64, a, b *matrix.Dense) {
+	if a.Rows != a.Cols {
+		panic("blas: Dtrsm with non-square triangular operand")
+	}
+	if side == Left && a.Rows != b.Rows {
+		panic("blas: Dtrsm Left dimension mismatch")
+	}
+	if side == Right && a.Rows != b.Cols {
+		panic("blas: Dtrsm Right dimension mismatch")
+	}
+	if alpha != 1 {
+		scaleMatrix(alpha, b)
+	}
+	if alpha == 0 {
+		return
+	}
+	if side == Left {
+		// Each column of B is an independent triangular solve.
+		for j := 0; j < b.Cols; j++ {
+			Dtrsv(uplo, tA, diag, a, b.Col(j))
+		}
+		return
+	}
+	dtrsmRight(uplo, tA, diag, a, b)
+}
+
+// dtrsmRight handles X * op(A) = B column by column of X; every inner
+// operation is a unit-stride axpy on a column of B.
+func dtrsmRight(uplo Uplo, tA Transpose, diag Diag, a, b *matrix.Dense) {
+	n := b.Cols
+	// forward reports whether column j of X depends only on columns < j.
+	forward := (uplo == Upper && tA == NoTrans) || (uplo == Lower && tA == Trans)
+	// coeff returns op(A)[l, j], the multiplier of X[:,l] in column j of the
+	// product X*op(A).
+	coeff := func(l, j int) float64 {
+		if tA == NoTrans {
+			return a.At(l, j)
+		}
+		return a.At(j, l)
+	}
+	solveCol := func(j int, deps []int) {
+		bj := b.Col(j)
+		for _, l := range deps {
+			if c := coeff(l, j); c != 0 {
+				Daxpy(-c, b.Col(l), bj)
+			}
+		}
+		if diag == NonUnit {
+			Dscal(1/coeff(j, j), bj)
+		}
+	}
+	if forward {
+		deps := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			solveCol(j, deps)
+			deps = append(deps, j)
+		}
+		return
+	}
+	for j := n - 1; j >= 0; j-- {
+		deps := make([]int, 0, n-j-1)
+		for l := j + 1; l < n; l++ {
+			deps = append(deps, l)
+		}
+		solveCol(j, deps)
+	}
+}

@@ -1,0 +1,195 @@
+package blas
+
+import (
+	"testing"
+
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// triangular builds a well-conditioned triangular matrix for the given uplo
+// and diag; the unused triangle stays zero so op(A)*X products can be formed
+// with plain DGEMM during verification. With diag == Unit the stored
+// diagonal is poisoned, since a correct solver must never read it.
+func triangular(r *sim.RNG, n int, uplo Uplo, diag Diag) (stored, effective *matrix.Dense) {
+	stored = matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			in := (uplo == Upper && j >= i) || (uplo == Lower && j <= i)
+			if in {
+				stored.Set(i, j, r.Float64()-0.5)
+			}
+		}
+		stored.Set(i, i, 2+r.Float64()) // dominant diagonal
+	}
+	effective = stored.Clone()
+	if diag == Unit {
+		for i := 0; i < n; i++ {
+			stored.Set(i, i, 1e33)
+			effective.Set(i, i, 1)
+		}
+	}
+	return stored, effective
+}
+
+func trsmCase(t *testing.T, side Side, uplo Uplo, tA Transpose, diag Diag, m, n int, alpha float64, seed uint64) {
+	t.Helper()
+	r := sim.NewRNG(seed)
+	order := m
+	if side == Right {
+		order = n
+	}
+	stored, eff := triangular(r, order, uplo, diag)
+	b0 := randDense(r, m, n)
+	x := b0.Clone()
+	Dtrsm(side, uplo, tA, diag, alpha, stored, x)
+
+	// Verify op(A)*X == alpha*B (Left) or X*op(A) == alpha*B (Right).
+	prod := matrix.NewDense(m, n)
+	if side == Left {
+		DgemmNaive(tA, NoTrans, 1, eff, x, 0, prod)
+	} else {
+		DgemmNaive(NoTrans, tA, 1, x, eff, 0, prod)
+	}
+	want := b0.Clone()
+	for j := 0; j < n; j++ {
+		Dscal(alpha, want.Col(j))
+	}
+	if d := prod.MaxDiff(want); d > 1e-9 {
+		t.Fatalf("Dtrsm(side=%d uplo=%d tA=%v diag=%d) residual %v", side, uplo, tA, diag, d)
+	}
+}
+
+func TestDtrsmAllSixteenVariants(t *testing.T) {
+	seed := uint64(1)
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, tA := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					side, uplo, tA, diag, s := side, uplo, tA, diag, seed
+					name := map[Side]string{Left: "L", Right: "R"}[side] +
+						uploName(uplo) + tA.String() + diagName(diag)
+					t.Run(name, func(t *testing.T) {
+						trsmCase(t, side, uplo, tA, diag, 11, 7, 1, s)
+						trsmCase(t, side, uplo, tA, diag, 7, 11, 2.5, s+1000)
+					})
+					seed++
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsmAlphaZero(t *testing.T) {
+	r := sim.NewRNG(9)
+	a, _ := triangular(r, 4, Lower, NonUnit)
+	b := randDense(r, 4, 3)
+	Dtrsm(Left, Lower, NoTrans, NonUnit, 0, a, b)
+	if b.MaxAbs() != 0 {
+		t.Fatal("alpha=0 must zero B")
+	}
+}
+
+func TestDtrsmHPLHotPath(t *testing.T) {
+	// The exact call HPL issues for the U12 panel: Left, Lower, NoTrans,
+	// Unit. Check against a hand-built 3x3 system.
+	a := matrix.NewDense(3, 3)
+	a.Set(1, 0, 2)
+	a.Set(2, 0, 3)
+	a.Set(2, 1, 4)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 999) // must be ignored under Unit
+	}
+	b := matrix.NewDense(3, 1)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 4)
+	b.Set(2, 0, 14)
+	Dtrsm(Left, Lower, NoTrans, Unit, 1, a, b)
+	// Forward substitution with unit diagonal: x0=1, x1=4-2*1=2, x2=14-3*1-4*2=3.
+	if b.At(0, 0) != 1 || b.At(1, 0) != 2 || b.At(2, 0) != 3 {
+		t.Fatalf("hot path solve wrong: %v %v %v", b.At(0, 0), b.At(1, 0), b.At(2, 0))
+	}
+}
+
+func TestDtrsmNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square A should panic")
+		}
+	}()
+	Dtrsm(Left, Lower, NoTrans, NonUnit, 1, matrix.NewDense(2, 3), matrix.NewDense(2, 2))
+}
+
+func TestDtrsmSideMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Right side mismatch should panic")
+		}
+	}()
+	Dtrsm(Right, Lower, NoTrans, NonUnit, 1, matrix.NewDense(3, 3), matrix.NewDense(2, 2))
+}
+
+func TestDlaswpRoundTrip(t *testing.T) {
+	r := sim.NewRNG(12)
+	a := randDense(r, 10, 6)
+	orig := a.Clone()
+	ipiv := []int{3, 1, 5, 9, 4}
+	Dlaswp(a, ipiv, 0, len(ipiv))
+	if a.Equal(orig) {
+		t.Fatal("swaps should have changed the matrix")
+	}
+	DlaswpInverse(a, ipiv, 0, len(ipiv))
+	if !a.Equal(orig) {
+		t.Fatal("inverse swaps must restore the matrix")
+	}
+}
+
+func TestDlaswpIdentityPivots(t *testing.T) {
+	r := sim.NewRNG(13)
+	a := randDense(r, 5, 5)
+	orig := a.Clone()
+	Dlaswp(a, []int{0, 1, 2, 3, 4}, 0, 5)
+	if !a.Equal(orig) {
+		t.Fatal("identity pivots must be a no-op")
+	}
+}
+
+func TestDlaswpPartialRange(t *testing.T) {
+	r := sim.NewRNG(14)
+	a := randDense(r, 6, 2)
+	orig := a.Clone()
+	ipiv := []int{5, 0, 4, 3}
+	Dlaswp(a, ipiv, 2, 4) // only k=2,3 applied
+	// Row 2 <-> 4 swap, row 3 self-swap.
+	if a.At(2, 0) != orig.At(4, 0) || a.At(4, 0) != orig.At(2, 0) {
+		t.Fatal("partial range applied wrong rows")
+	}
+	if a.At(0, 0) != orig.At(0, 0) || a.At(5, 0) != orig.At(5, 0) {
+		t.Fatal("rows outside the range must be untouched")
+	}
+}
+
+func TestDlaswpBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pivot range should panic")
+		}
+	}()
+	Dlaswp(matrix.NewDense(3, 3), []int{0}, 0, 2)
+}
+
+func TestSwapRows(t *testing.T) {
+	r := sim.NewRNG(15)
+	a := randDense(r, 4, 3)
+	orig := a.Clone()
+	SwapRows(a, 0, 3)
+	for j := 0; j < 3; j++ {
+		if a.At(0, j) != orig.At(3, j) || a.At(3, j) != orig.At(0, j) {
+			t.Fatal("SwapRows failed")
+		}
+	}
+	SwapRows(a, 1, 1) // self swap: no-op
+	if a.At(1, 0) != orig.At(1, 0) {
+		t.Fatal("self swap must not modify")
+	}
+}

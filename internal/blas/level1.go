@@ -1,0 +1,117 @@
+// Package blas implements the dense linear-algebra kernels the Linpack
+// reproduction needs, in pure Go: the Level 1/2/3 BLAS routines used by HPL
+// (DGEMM, DTRSM, DGER, DLASWP, ...) with both simple reference paths and
+// cache-blocked, optionally parallel production paths. All matrices are
+// column-major matrix.Dense views; vectors are contiguous []float64 slices
+// (the unit-stride case is the only one HPL exercises).
+package blas
+
+import "math"
+
+// Daxpy computes y += alpha*x over equal-length slices.
+func Daxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Daxpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	// 4-way unrolling: this loop is the inner kernel of the whole library.
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dscal computes x *= alpha.
+func Dscal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dcopy copies x into y.
+func Dcopy(x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Dcopy length mismatch")
+	}
+	copy(y, x)
+}
+
+// Dswap exchanges the contents of x and y.
+func Dswap(x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Dswap length mismatch")
+	}
+	for i := range x {
+		x[i], y[i] = y[i], x[i]
+	}
+}
+
+// Ddot returns the dot product of x and y.
+func Ddot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: Ddot length mismatch")
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Dnrm2 returns the Euclidean norm of x, with scaling to avoid overflow.
+func Dnrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dasum returns the sum of absolute values of x.
+func Dasum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Idamax returns the index of the element of x with the largest absolute
+// value, or -1 for an empty slice. Ties resolve to the lowest index, the
+// LAPACK convention partial pivoting depends on.
+func Idamax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	for i := 1; i < len(x); i++ {
+		if a := math.Abs(x[i]); a > best {
+			best, bi = a, i
+		}
+	}
+	return bi
+}

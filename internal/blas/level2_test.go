@@ -1,0 +1,171 @@
+package blas
+
+import (
+	"testing"
+
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+func randDense(r *sim.RNG, rows, cols int) *matrix.Dense {
+	m := matrix.NewDense(rows, cols)
+	m.FillRandom(r)
+	return m
+}
+
+func TestDgerBasic(t *testing.T) {
+	a := matrix.NewDense(2, 3)
+	Dger(2, []float64{1, 2}, []float64{3, 4, 5}, a)
+	// a[i][j] = 2 * x[i] * y[j]
+	if a.At(0, 0) != 6 || a.At(1, 2) != 20 || a.At(0, 1) != 8 {
+		t.Fatalf("Dger result wrong: %v %v %v", a.At(0, 0), a.At(1, 2), a.At(0, 1))
+	}
+}
+
+func TestDgerZeroAlpha(t *testing.T) {
+	a := matrix.NewDense(2, 2)
+	a.Fill(1)
+	Dger(0, []float64{9, 9}, []float64{9, 9}, a)
+	if a.At(0, 0) != 1 {
+		t.Fatal("alpha=0 must not modify A")
+	}
+}
+
+func TestDgerDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	Dger(1, []float64{1}, []float64{1}, matrix.NewDense(2, 2))
+}
+
+func TestDgemvNoTrans(t *testing.T) {
+	a := matrix.NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := []float64{1, 1}
+	Dgemv(NoTrans, 1, a, []float64{1, 1}, 1, y)
+	if y[0] != 4 || y[1] != 8 {
+		t.Fatalf("Dgemv = %v", y)
+	}
+}
+
+func TestDgemvTrans(t *testing.T) {
+	a := matrix.NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := []float64{0, 0}
+	Dgemv(Trans, 1, a, []float64{1, 1}, 0, y)
+	if y[0] != 4 || y[1] != 6 {
+		t.Fatalf("Dgemv^T = %v", y)
+	}
+}
+
+func TestDgemvBetaZeroClearsNaN(t *testing.T) {
+	// beta=0 must overwrite y even if it held garbage.
+	a := matrix.NewDense(1, 1)
+	a.Set(0, 0, 2)
+	y := []float64{1e308}
+	Dgemv(NoTrans, 1, a, []float64{3}, 0, y)
+	if y[0] != 6 {
+		t.Fatalf("beta=0 Dgemv = %v", y)
+	}
+}
+
+func TestDgemvAgainstMulVec(t *testing.T) {
+	r := sim.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + r.Intn(12)
+		n := 1 + r.Intn(12)
+		a := randDense(r, m, n)
+		x := randSlice(r, n)
+		y := make([]float64, m)
+		Dgemv(NoTrans, 1, a, x, 0, y)
+		want := matrix.MulVec(a, x)
+		if matrix.VecMaxDiff(y, want) > 1e-13 {
+			t.Fatalf("trial %d: Dgemv disagrees with MulVec", trial)
+		}
+	}
+}
+
+func trsvResidual(t *testing.T, uplo Uplo, tA Transpose, diag Diag) {
+	t.Helper()
+	r := sim.NewRNG(uint64(uplo)<<8 | uint64(tA)<<4 | uint64(diag))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + r.Intn(20)
+		a := matrix.NewDense(n, n)
+		a.FillDiagonallyDominant(r)
+		if diag == Unit {
+			// Poison the stored diagonal: Unit solves must ignore it.
+			for i := 0; i < n; i++ {
+				a.Set(i, i, 1e30)
+			}
+		}
+		// Zero the unused triangle so we can form op(A)*x with Dgemv on the
+		// full matrix for verification.
+		tri := a.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				inTriangle := (uplo == Upper && j >= i) || (uplo == Lower && j <= i)
+				if !inTriangle {
+					tri.Set(i, j, 0)
+				}
+			}
+		}
+		if diag == Unit {
+			for i := 0; i < n; i++ {
+				tri.Set(i, i, 1)
+			}
+		}
+		bOrig := randSlice(r, n)
+		x := append([]float64(nil), bOrig...)
+		Dtrsv(uplo, tA, diag, a, x)
+		// Verify op(tri)*x == bOrig.
+		got := make([]float64, n)
+		Dgemv(tA, 1, tri, x, 0, got)
+		if matrix.VecMaxDiff(got, bOrig) > 1e-9 {
+			t.Fatalf("trial %d: residual %v", trial, matrix.VecMaxDiff(got, bOrig))
+		}
+	}
+}
+
+func TestDtrsvAllVariants(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, tA := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				uplo, tA, diag := uplo, tA, diag
+				t.Run(uploName(uplo)+tA.String()+diagName(diag), func(t *testing.T) {
+					trsvResidual(t, uplo, tA, diag)
+				})
+			}
+		}
+	}
+}
+
+func uploName(u Uplo) string {
+	if u == Upper {
+		return "U"
+	}
+	return "L"
+}
+
+func diagName(d Diag) string {
+	if d == Unit {
+		return "Unit"
+	}
+	return "NonUnit"
+}
+
+func TestDtrsvNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square Dtrsv should panic")
+		}
+	}()
+	Dtrsv(Lower, NoTrans, NonUnit, matrix.NewDense(2, 3), []float64{1, 1})
+}

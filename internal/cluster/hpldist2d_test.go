@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+
+	"tianhe/internal/element"
+	"tianhe/internal/hpl"
+	"tianhe/internal/matrix"
+)
+
+func TestSolve2DSingleRank(t *testing.T) {
+	res, err := SolveDistributed2D(Dist2DConfig{
+		N: 128, NB: 32, P: 1, Q: 1, Seed: 1, Variant: element.ACMLGBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestSolve2DMatchesSerial(t *testing.T) {
+	cfg := Dist2DConfig{N: 192, NB: 32, P: 2, Q: 2, Seed: 5, Variant: element.ACMLGBoth}
+	res, err := SolveDistributed2D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := hpl.Generate(cfg.N, cfg.Seed)
+	want, err := hpl.Solve(a, b, hpl.Options{NB: cfg.NB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.VecMaxDiff(res.X, want); d > 1e-8 {
+		t.Fatalf("2D vs serial solutions differ by %v", d)
+	}
+}
+
+func TestSolve2DGridShapes(t *testing.T) {
+	for _, c := range []struct{ p, q int }{
+		{1, 2}, {2, 1}, {2, 2}, {2, 3}, {3, 2}, {4, 2}, {2, 4}, {3, 3},
+	} {
+		res, err := SolveDistributed2D(Dist2DConfig{
+			N: 192, NB: 32, P: c.p, Q: c.q, Seed: uint64(c.p*10 + c.q),
+			Variant: element.ACMLGBoth,
+		})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", c.p, c.q, err)
+		}
+		if res.Residual >= hpl.ResidualThreshold {
+			t.Fatalf("%dx%d residual %v", c.p, c.q, res.Residual)
+		}
+	}
+}
+
+func TestSolve2DRectangularBlocks(t *testing.T) {
+	// More blocks than ranks in both dimensions (cyclic wraparound active).
+	res, err := SolveDistributed2D(Dist2DConfig{
+		N: 320, NB: 32, P: 2, Q: 3, Seed: 9, Variant: element.ACMLGBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestSolve2DAllVariants(t *testing.T) {
+	for _, v := range element.Variants {
+		res, err := SolveDistributed2D(Dist2DConfig{
+			N: 128, NB: 32, P: 2, Q: 2, Seed: 11, Variant: v,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !res.Passed {
+			t.Fatalf("%v residual %v", v, res.Residual)
+		}
+	}
+}
+
+func TestSolve2DDeterministic(t *testing.T) {
+	cfg := Dist2DConfig{N: 128, NB: 32, P: 2, Q: 2, Seed: 3, Variant: element.ACMLGPipe}
+	a, err1 := SolveDistributed2D(cfg)
+	b, err2 := SolveDistributed2D(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if matrix.VecMaxDiff(a.X, b.X) != 0 || a.Seconds != b.Seconds {
+		t.Fatal("2D solve must be deterministic")
+	}
+}
+
+func TestSolve2DValidation(t *testing.T) {
+	if _, err := SolveDistributed2D(Dist2DConfig{N: 100, NB: 32, P: 2, Q: 2, Variant: element.ACMLG}); err == nil {
+		t.Fatal("ragged N must be rejected")
+	}
+	if _, err := SolveDistributed2D(Dist2DConfig{N: 64, NB: 32, P: 0, Q: 2, Variant: element.ACMLG}); err == nil {
+		t.Fatal("invalid grid must be rejected")
+	}
+}
+
+func TestSolve2DSmallGPU(t *testing.T) {
+	res, err := SolveDistributed2D(Dist2DConfig{
+		N: 256, NB: 64, P: 2, Q: 2, Seed: 13, Variant: element.ACMLGBoth,
+		GPUMem: 2 << 20, GPUTexture: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestSolve2DAgreesWith1D(t *testing.T) {
+	// Same system through both distributed solvers must agree closely.
+	n, nb := 192, 32
+	r2, err := SolveDistributed2D(Dist2DConfig{
+		N: n, NB: nb, P: 2, Q: 2, Seed: 21, Variant: element.ACMLGBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := SolveDistributed(DistConfig{
+		N: n, NB: nb, Ranks: 4, Seed: 21, Variant: element.ACMLGBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.VecMaxDiff(r1.X, r2.X); d > 1e-8 {
+		t.Fatalf("1D and 2D solutions differ by %v", d)
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+
+	"tianhe/internal/perfmodel"
+)
+
+func cabinetRun(t *testing.T, procs int, policy Policy) ScaleResult {
+	t.Helper()
+	n := 46080 * isqrt(procs)
+	n -= n % 1216
+	return SimulateScale(ScaleConfig{
+		N: n, NB: 1216, Processes: procs, Seed: 7, Policy: policy,
+	})
+}
+
+func isqrt(v int) int {
+	r := 1
+	for r*r < v {
+		r++
+	}
+	return r
+}
+
+func TestAdaptiveBeatsTrained(t *testing.T) {
+	for _, p := range []int{4, 16, 64} {
+		ours := cabinetRun(t, p, PolicyAdaptive)
+		qilin := cabinetRun(t, p, PolicyTrained)
+		if ours.GFLOPS <= qilin.GFLOPS {
+			t.Fatalf("p=%d: adaptive %v must beat trained %v", p, ours.GFLOPS, qilin.GFLOPS)
+		}
+	}
+}
+
+func TestAdvantageGrowsWithProcesses(t *testing.T) {
+	// Fig. 11: the adaptive advantage grows with the process count, reaching
+	// roughly 15% at 64 processes.
+	adv := func(p int) float64 {
+		return cabinetRun(t, p, PolicyAdaptive).GFLOPS/cabinetRun(t, p, PolicyTrained).GFLOPS - 1
+	}
+	a4, a64 := adv(4), adv(64)
+	if a64 <= a4 {
+		t.Fatalf("advantage must grow: %v at 4 procs vs %v at 64", a4, a64)
+	}
+	if a64 < 0.08 || a64 > 0.25 {
+		t.Fatalf("advantage at 64 procs = %.1f%%, paper reports 15.56%%", a64*100)
+	}
+}
+
+func TestSingleCabinetNearPaper(t *testing.T) {
+	// Fig. 12: one cabinet delivered 8.02 TFLOPS.
+	r := SimulateScale(ScaleConfig{
+		N: 279680, NB: 1216, Processes: 64, Seed: 7,
+		Policy: PolicyAdaptive, Downclock: true,
+	})
+	if r.TFLOPS < 7.0 || r.TFLOPS > 9.0 {
+		t.Fatalf("single cabinet %v TFLOPS, paper reports 8.02", r.TFLOPS)
+	}
+}
+
+func TestScalingEfficiency(t *testing.T) {
+	// Fig. 12: 87.76% efficiency from 1 to 80 cabinets.
+	one := SimulateScale(ScaleConfig{
+		N: 279680, NB: 1216, Processes: 64, Seed: 7,
+		Policy: PolicyAdaptive, Downclock: true,
+	})
+	eighty := SimulateScale(ScaleConfig{
+		N: 2239744, NB: 1216, Processes: 5120, Seed: 7,
+		Policy: PolicyAdaptive, Downclock: true,
+	})
+	eff := eighty.TFLOPS / (80 * one.TFLOPS)
+	if eff < 0.78 || eff > 0.95 {
+		t.Fatalf("scaling efficiency %.1f%%, paper reports 87.76%%", eff*100)
+	}
+	if eighty.TFLOPS < 480 || eighty.TFLOPS > 620 {
+		t.Fatalf("full machine %v TFLOPS, paper reports 563.1", eighty.TFLOPS)
+	}
+}
+
+func TestFullMachineGrid(t *testing.T) {
+	r := SimulateScale(ScaleConfig{
+		N: 2239744, NB: 1216, Processes: 5120, Seed: 1,
+		Policy: PolicyAdaptive, Downclock: true,
+	})
+	if r.Grid.P != 64 || r.Grid.Q != 80 {
+		t.Fatalf("grid %dx%d, paper uses 64x80", r.Grid.P, r.Grid.Q)
+	}
+	if r.Iterations != 2239744/1216 {
+		t.Fatalf("iterations %d", r.Iterations)
+	}
+}
+
+func TestProgressCurveLateDrop(t *testing.T) {
+	// Fig. 13: cumulative performance drops noticeably over the last few
+	// percent of the run as the trailing matrices shrink.
+	r := SimulateScale(ScaleConfig{
+		N: 2239744, NB: 1216, Processes: 5120, Seed: 7,
+		Policy: PolicyAdaptive, Downclock: true, RecordProgress: true,
+	})
+	if len(r.Progress) == 0 {
+		t.Fatal("no progress recorded")
+	}
+	var at97 float64
+	for _, pt := range r.Progress {
+		if pt.Frac >= 0.9717 {
+			at97 = pt.CumTFLOPS
+			break
+		}
+	}
+	final := r.Progress[len(r.Progress)-1].CumTFLOPS
+	drop := at97 - final
+	if drop < 5 {
+		t.Fatalf("late drop %v TFLOPS too small; paper reports ~41.6", drop)
+	}
+	if final >= at97 {
+		t.Fatal("cumulative performance must decline through the endgame")
+	}
+}
+
+func TestProgressFractionsMonotonic(t *testing.T) {
+	r := SimulateScale(ScaleConfig{
+		N: 121600, NB: 1216, Processes: 16, Seed: 3,
+		Policy: PolicyAdaptive, RecordProgress: true,
+	})
+	prev := 0.0
+	for _, pt := range r.Progress {
+		if pt.Frac < prev {
+			t.Fatal("progress fractions must be non-decreasing")
+		}
+		prev = pt.Frac
+	}
+	if prev < 0.999 {
+		t.Fatalf("final progress fraction %v", prev)
+	}
+}
+
+func TestSimulateScaleDeterministic(t *testing.T) {
+	cfg := ScaleConfig{N: 60800, NB: 1216, Processes: 8, Seed: 5, Policy: PolicyAdaptive}
+	a := SimulateScale(cfg)
+	b := SimulateScale(cfg)
+	if a.Seconds != b.Seconds || a.GFLOPS != b.GFLOPS {
+		t.Fatal("same seed must reproduce the run exactly")
+	}
+}
+
+func TestDownclockSlower(t *testing.T) {
+	base := ScaleConfig{N: 121600, NB: 1216, Processes: 64, Seed: 2, Policy: PolicyAdaptive}
+	fast := SimulateScale(base)
+	base.Downclock = true
+	slow := SimulateScale(base)
+	if slow.GFLOPS >= fast.GFLOPS {
+		t.Fatal("575 MHz run must be slower than 750 MHz")
+	}
+	ratio := slow.GFLOPS / fast.GFLOPS
+	if ratio < perfmodel.GPUDownclockRatio-0.05 || ratio > 1 {
+		t.Fatalf("downclock ratio %v implausible", ratio)
+	}
+}
+
+func TestTrainingEnergyMatchesPaper(t *testing.T) {
+	// Section VI.C: 37 kWh per cabinet, 2960 kWh for the full machine.
+	if perfmodel.TrainingEnergyKWh(1) != 37 {
+		t.Fatalf("per-cabinet training energy %v", perfmodel.TrainingEnergyKWh(1))
+	}
+	if perfmodel.TrainingEnergyKWh(80) != 2960 {
+		t.Fatalf("full-machine training energy %v", perfmodel.TrainingEnergyKWh(80))
+	}
+}
+
+func TestRunLoadFractionShape(t *testing.T) {
+	if runLoadFraction(1) >= runLoadFraction(8) || runLoadFraction(8) >= runLoadFraction(64) {
+		t.Fatal("run load must grow with process count")
+	}
+	if runLoadFraction(1<<20) > 0.25 {
+		t.Fatal("run load must saturate")
+	}
+}
+
+func TestPipelinedGPUSecondsShape(t *testing.T) {
+	g := perfmodel.DefaultGPU()
+	tr := perfmodel.DefaultTransfer()
+	small := pipelinedGPUSeconds(1000, 1000, 1216, g, tr)
+	big := pipelinedGPUSeconds(40000, 40000, 1216, g, tr)
+	if small >= big {
+		t.Fatal("bigger updates must take longer")
+	}
+	if pipelinedGPUSeconds(0, 10, 10, g, tr) != 0 {
+		t.Fatal("degenerate shapes cost nothing")
+	}
+	// Effective rate must stay below the kernel-rate ceiling.
+	rate := 2.0 * 40000 * 40000 * 1216 / big / 1e9
+	if rate >= g.Rate(5376, 5376, 1216)+1e-9 {
+		t.Fatalf("pipelined rate %v exceeds kernel ceiling", rate)
+	}
+}

@@ -1,0 +1,135 @@
+// Package cpu simulates the host processor of a TianHe-1 compute element: a
+// quad-core Xeon of which one core is dedicated to driving the GPU and three
+// execute DGEMM slices. Core rates differ — a deterministic per-core bias
+// models manufacturing/DVFS spread, the core sharing its L2 with the
+// communication core slows down while transfers are in flight, and a small
+// per-call jitter models OS noise. Those differences are exactly what the
+// paper's level-2 adaptive split (database_c) exists to absorb.
+package cpu
+
+import (
+	"fmt"
+
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/sim"
+)
+
+// Config selects the modelled CPU.
+type Config struct {
+	// Seed drives the deterministic bias and jitter streams.
+	Seed uint64
+	// Xeon selects the processor model (E5540 default; TianHe-1 also had
+	// E5450 nodes with paired-L2 cores).
+	Xeon perfmodel.Xeon
+	// Cores is the number of compute cores. Zero selects the TianHe-1
+	// arrangement (three compute cores, the fourth dedicated to GPU
+	// communication); host-only runs use all four.
+	Cores int
+	// BiasSpread is the standard deviation of the per-core rate bias
+	// (fraction of nominal). Zero selects 0.025.
+	BiasSpread float64
+	// JitterSigma is the per-call lognormal jitter of execution times.
+	// Zero selects 0.01; set negative to disable jitter entirely.
+	JitterSigma float64
+	// Virtual disables real arithmetic (timing only).
+	Virtual bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = perfmodel.ComputeCores
+	}
+	if c.BiasSpread == 0 {
+		c.BiasSpread = 0.025
+	}
+	switch {
+	case c.JitterSigma == 0:
+		c.JitterSigma = 0.01
+	case c.JitterSigma < 0:
+		c.JitterSigma = 0
+	}
+	return c
+}
+
+// Core is one compute core.
+type Core struct {
+	Model   perfmodel.CPUCore
+	TL      *sim.Timeline
+	jitter  *sim.RNG
+	sigma   float64
+	virtual bool
+}
+
+// CPU is the host processor: ComputeCores worker cores plus a dedicated
+// communication core (whose time lives on the GPU's DMA engine; the Comm
+// timeline here tracks the host-side bookkeeping it performs).
+type CPU struct {
+	cores []*Core
+	Comm  *sim.Timeline
+}
+
+// New builds the processor model.
+func New(cfg Config) *CPU {
+	cfg = cfg.withDefaults()
+	biasStream := sim.NewStream(cfg.Seed, "cpu/bias")
+	c := &CPU{Comm: sim.NewTimeline("cpu.comm")}
+	for i := 0; i < cfg.Cores; i++ {
+		bias := 1 + biasStream.Normal(0, cfg.BiasSpread)
+		// Core 0 is the compute core paired with the communication core on
+		// the same L2 (the E5450 arrangement from Section IV.A).
+		model := perfmodel.CoreForXeon(cfg.Xeon, bias, i == 0)
+		c.cores = append(c.cores, &Core{
+			Model:   model,
+			TL:      sim.NewTimeline(fmt.Sprintf("cpu.core%d", i)),
+			jitter:  sim.NewStream(cfg.Seed, fmt.Sprintf("cpu/jitter%d", i)),
+			sigma:   cfg.JitterSigma,
+			virtual: cfg.Virtual,
+		})
+	}
+	return c
+}
+
+// NumCores returns the number of compute cores (the comm core excluded).
+func (c *CPU) NumCores() int { return len(c.cores) }
+
+// Core returns compute core i.
+func (c *CPU) Core(i int) *Core { return c.cores[i] }
+
+// Cores returns all compute cores.
+func (c *CPU) Cores() []*Core { return c.cores }
+
+// Reset returns every core timeline to time zero.
+func (c *CPU) Reset() {
+	for _, core := range c.cores {
+		core.TL.Reset()
+	}
+	c.Comm.Reset()
+}
+
+// Gemm executes C = alpha*A*B + beta*C on the core, booking its virtual
+// duration no earlier than earliest. commActive reports whether CPU-GPU
+// transfers overlap this slice (degrading the L2-shared core).
+func (k *Core) Gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, commActive bool, earliest sim.Time) sim.Span {
+	if !k.virtual {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+	}
+	return k.book(a.Rows, b.Cols, a.Cols, commActive, earliest)
+}
+
+// GemmVirtual books a DGEMM slice of the given shape without operands.
+func (k *Core) GemmVirtual(m, n, kk int, commActive bool, earliest sim.Time) sim.Span {
+	return k.book(m, n, kk, commActive, earliest)
+}
+
+func (k *Core) book(m, n, kk int, commActive bool, earliest sim.Time) sim.Span {
+	dur := k.Model.Seconds(m, n, kk, commActive) * k.jitter.LogNormalFactor(k.sigma)
+	return k.TL.Book("gemm", earliest, dur)
+}
+
+// Seconds returns the expected (jitter-free) duration of a slice, the value
+// a planner would use.
+func (k *Core) Seconds(m, n, kk int, commActive bool) float64 {
+	return k.Model.Seconds(m, n, kk, commActive)
+}

@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"testing"
+
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/sim"
+)
+
+func TestNewHasComputeCores(t *testing.T) {
+	c := New(Config{Seed: 1})
+	if c.NumCores() != perfmodel.ComputeCores {
+		t.Fatalf("cores = %d, want %d", c.NumCores(), perfmodel.ComputeCores)
+	}
+}
+
+func TestCoreBiasesDiffer(t *testing.T) {
+	c := New(Config{Seed: 1})
+	b0 := c.Core(0).Model.Bias
+	b1 := c.Core(1).Model.Bias
+	b2 := c.Core(2).Model.Bias
+	if b0 == b1 && b1 == b2 {
+		t.Fatal("core biases should differ")
+	}
+	for i, b := range []float64{b0, b1, b2} {
+		if b < 0.85 || b > 1.15 {
+			t.Fatalf("core %d bias %v implausible", i, b)
+		}
+	}
+}
+
+func TestOnlyCoreZeroSharesL2(t *testing.T) {
+	c := New(Config{Seed: 2})
+	if !c.Core(0).Model.L2SharedWithComm {
+		t.Fatal("core 0 must be the L2-shared core")
+	}
+	for i := 1; i < c.NumCores(); i++ {
+		if c.Core(i).Model.L2SharedWithComm {
+			t.Fatalf("core %d must not share L2 with comm", i)
+		}
+	}
+}
+
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	a := New(Config{Seed: 7})
+	b := New(Config{Seed: 7})
+	for i := 0; i < a.NumCores(); i++ {
+		if a.Core(i).Model.Bias != b.Core(i).Model.Bias {
+			t.Fatal("same seed must produce identical biases")
+		}
+	}
+	sa := a.Core(1).GemmVirtual(256, 256, 256, false, 0)
+	sb := b.Core(1).GemmVirtual(256, 256, 256, false, 0)
+	if sa.Duration() != sb.Duration() {
+		t.Fatal("same seed must produce identical jitter")
+	}
+}
+
+func TestGemmComputesRealResult(t *testing.T) {
+	c := New(Config{Seed: 3, JitterSigma: -1})
+	r := sim.NewRNG(5)
+	a := matrix.NewDense(20, 12)
+	b := matrix.NewDense(12, 16)
+	a.FillRandom(r)
+	b.FillRandom(r)
+	got := matrix.NewDense(20, 16)
+	c.Core(0).Gemm(1, a, b, 0, got, false, 0)
+	want := matrix.NewDense(20, 16)
+	blas.DgemmNaive(blas.NoTrans, blas.NoTrans, 1, a, b, 0, want)
+	if d := got.MaxDiff(want); d > 1e-12 {
+		t.Fatalf("core DGEMM wrong by %v", d)
+	}
+}
+
+func TestVirtualSkipsArithmetic(t *testing.T) {
+	c := New(Config{Seed: 3, Virtual: true})
+	got := matrix.NewDense(4, 4)
+	a := matrix.NewDense(4, 4)
+	a.Fill(1)
+	c.Core(0).Gemm(1, a, a, 0, got, false, 0)
+	if got.MaxAbs() != 0 {
+		t.Fatal("virtual mode must not touch data")
+	}
+}
+
+func TestCommInterferenceSlowsSharedCore(t *testing.T) {
+	c := New(Config{Seed: 4, JitterSigma: -1})
+	m := 1024
+	quiet := c.Core(0).Seconds(m, m, m, false)
+	noisy := c.Core(0).Seconds(m, m, m, true)
+	if noisy <= quiet {
+		t.Fatal("comm activity must slow the L2-shared core")
+	}
+	other := c.Core(1)
+	if other.Seconds(m, m, m, true) != other.Seconds(m, m, m, false) {
+		t.Fatal("non-shared cores must be unaffected by comm")
+	}
+}
+
+func TestCoreTimelinesIndependent(t *testing.T) {
+	c := New(Config{Seed: 5, JitterSigma: -1})
+	s0 := c.Core(0).GemmVirtual(512, 512, 512, false, 0)
+	s1 := c.Core(1).GemmVirtual(512, 512, 512, false, 0)
+	if s0.Start != 0 || s1.Start != 0 {
+		t.Fatal("different cores run concurrently from time zero")
+	}
+	s0b := c.Core(0).GemmVirtual(512, 512, 512, false, 0)
+	if s0b.Start != s0.End {
+		t.Fatal("one core's slices must serialize")
+	}
+}
+
+func TestJitterChangesDurations(t *testing.T) {
+	c := New(Config{Seed: 6, JitterSigma: 0.05})
+	d1 := c.Core(0).GemmVirtual(256, 256, 256, false, 0).Duration()
+	d2 := c.Core(0).GemmVirtual(256, 256, 256, false, 0).Duration()
+	if d1 == d2 {
+		t.Fatal("jitter should perturb repeated identical slices")
+	}
+}
+
+func TestResetClearsTimelines(t *testing.T) {
+	c := New(Config{Seed: 8})
+	c.Core(0).GemmVirtual(128, 128, 128, false, 0)
+	c.Reset()
+	if c.Core(0).TL.Available() != 0 {
+		t.Fatal("reset must clear core timelines")
+	}
+}
+
+func TestThreeCoreAggregateRate(t *testing.T) {
+	// Three compute cores on a large slice should aggregate to roughly
+	// 27-30 GFLOPS (the CPU share of the hybrid element).
+	c := New(Config{Seed: 9, JitterSigma: -1, BiasSpread: 1e-9})
+	m := 4096
+	var rate float64
+	for i := 0; i < c.NumCores(); i++ {
+		sec := c.Core(i).Seconds(m, m, m, false)
+		rate += 2 * float64(m) * float64(m) * float64(m) / sec / 1e9
+	}
+	if rate < 26 || rate > 31 {
+		t.Fatalf("3-core aggregate %v GFLOPS, want within [26, 31]", rate)
+	}
+}

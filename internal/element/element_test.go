@@ -1,0 +1,80 @@
+package element
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVariantProperties(t *testing.T) {
+	cases := []struct {
+		v             Variant
+		gpu, ad, pipe bool
+		name          string
+	}{
+		{CPUOnly, false, false, false, "CPU"},
+		{ACMLG, true, false, false, "ACMLG"},
+		{ACMLGAdaptive, true, true, false, "ACMLG+adaptive"},
+		{ACMLGPipe, true, false, true, "ACMLG+pipe"},
+		{ACMLGBoth, true, true, true, "ACMLG+both"},
+	}
+	for _, c := range cases {
+		if c.v.UsesGPU() != c.gpu || c.v.Adaptive() != c.ad || c.v.Pipelined() != c.pipe {
+			t.Fatalf("variant %v flags wrong", c.v)
+		}
+		if c.v.String() != c.name {
+			t.Fatalf("variant name %q, want %q", c.v.String(), c.name)
+		}
+	}
+	if len(Variants) != 5 {
+		t.Fatal("the paper evaluates exactly five configurations")
+	}
+}
+
+func TestElementPeak(t *testing.T) {
+	el := New(Config{Seed: 1})
+	if math.Abs(el.PeakGFLOPS()-280.48) > 0.1 {
+		t.Fatalf("element peak %v, paper quotes 280.5", el.PeakGFLOPS())
+	}
+}
+
+func TestInitialGSplitMatchesPaper(t *testing.T) {
+	// Fig. 10: "The initial value is set to 0.889 according to the peak
+	// performance of the CPU and GPU." (GPU 240 over 240 + 3 x 10.12.)
+	el := New(Config{Seed: 1})
+	if math.Abs(el.InitialGSplit()-0.889) > 0.002 {
+		t.Fatalf("initial GSplit %v, paper says 0.889", el.InitialGSplit())
+	}
+}
+
+func TestNowTracksAllResources(t *testing.T) {
+	el := New(Config{Seed: 2, Virtual: true})
+	if el.Now() != 0 {
+		t.Fatal("fresh element must be at time zero")
+	}
+	el.GPU.UploadBytes(1<<20, 0)
+	after := el.Now()
+	if after <= 0 {
+		t.Fatal("Now must see the DMA booking")
+	}
+	el.CPU.Core(1).GemmVirtual(4096, 4096, 4096, false, 0)
+	if el.Now() <= after {
+		t.Fatal("Now must see core bookings")
+	}
+}
+
+func TestResetRestoresZero(t *testing.T) {
+	el := New(Config{Seed: 3, Virtual: true})
+	el.GPU.GemmVirtual(512, 512, 512)
+	el.CPU.Core(0).GemmVirtual(512, 512, 512, false, 0)
+	el.Reset()
+	if el.Now() != 0 {
+		t.Fatal("reset must zero the element clock")
+	}
+}
+
+func TestCustomCoreCount(t *testing.T) {
+	el := New(Config{Seed: 4, CPUCores: 4})
+	if el.CPU.NumCores() != 4 {
+		t.Fatalf("cores = %d", el.CPU.NumCores())
+	}
+}

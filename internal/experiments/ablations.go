@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"tianhe/internal/adaptive"
+	"tianhe/internal/bench"
+	"tianhe/internal/element"
+	"tianhe/internal/gpu"
+	"tianhe/internal/hybrid"
+	"tianhe/internal/linpacksim"
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/pipeline"
+)
+
+// Ablation studies for the design choices the paper makes implicitly: task
+// ordering, EO block height, database granularity, staging strategy, tile
+// extent and the Linpack blocking factor. Each returns series suitable for
+// bench.Table.
+
+// AblationOrdering compares the bounce-corner-turn ordering against plain
+// row-major task order on a multi-tile DGEMM: transferred gigabytes and
+// virtual seconds.
+func AblationOrdering(m, n, k int) (bytesGB, seconds *bench.Series) {
+	bytesGB = &bench.Series{Name: "input GB"}
+	seconds = &bench.Series{Name: "seconds"}
+	for i, bounce := range []bool{false, true} {
+		dev := gpu.New(gpu.Config{Virtual: true})
+		// Reuse drives both the ordering and the cache; comparing Reuse
+		// on/off isolates exactly the bounce-corner-turn machinery.
+		e := pipeline.NewExecutor(dev, pipeline.Options{
+			Reuse: bounce, OverlapInput: true, BlockedEO: true,
+		})
+		rep := e.ExecuteVirtual(m, n, k, 1, 0)
+		bytesGB.Add(float64(i), float64(rep.BytesIn)/1e9)
+		seconds.Add(float64(i), rep.Seconds())
+	}
+	return bytesGB, seconds
+}
+
+// AblationBlockRows sweeps the EO block height H (Fig. 6): small blocks
+// stream the output sooner but pay more DMA bookings; huge blocks converge
+// to the unfused output.
+func AblationBlockRows(hs []int) *bench.Series {
+	if hs == nil {
+		hs = []int{64, 128, 256, 512, 1024, 2048, 4096}
+	}
+	s := &bench.Series{Name: "GFLOPS"}
+	for _, h := range hs {
+		dev := gpu.New(gpu.Config{Virtual: true})
+		e := pipeline.NewExecutor(dev, pipeline.Options{
+			Reuse: true, OverlapInput: true, BlockedEO: true, BlockRows: h,
+		})
+		rep := e.ExecuteVirtual(16384, 16384, 1216, 1, 0)
+		s.Add(float64(h), rep.GFLOPS())
+	}
+	return s
+}
+
+// AblationBuckets sweeps database_g's item count J (Section IV.B): one
+// bucket forces a single split for every workload; many buckets let each
+// trailing-matrix size keep its own.
+func AblationBuckets(js []int) *bench.Series {
+	if js == nil {
+		js = []int{1, 2, 4, 16, 64, 256}
+	}
+	s := &bench.Series{Name: "Linpack GFLOPS"}
+	const n = 24320
+	for _, j := range js {
+		el := element.New(element.Config{Seed: DefaultSeed, Virtual: true})
+		part := adaptive.NewAdaptive(j, 2.0/3.0*float64(n)*float64(n)*float64(n),
+			el.InitialGSplit(), el.CPU.NumCores())
+		res := linpacksim.Run(linpacksim.Config{
+			N: n, Variant: element.ACMLGBoth, Seed: DefaultSeed, Part: part,
+		})
+		s.Add(float64(j), res.GFLOPS)
+	}
+	return s
+}
+
+// AblationStaging compares the three CPU-GPU transfer strategies of Section
+// V.A on the Linpack ACMLG baseline: naive pageable, the faster pageable
+// memcpy path, and the chunked pinned-pool staging.
+func AblationStaging() *bench.Series {
+	s := &bench.Series{Name: "Linpack GFLOPS"}
+	configs := []struct {
+		idx      float64
+		transfer perfmodel.Transfer
+	}{
+		{0, perfmodel.NaiveTransfer()},
+		{1, perfmodel.PageableTransfer()},
+		{2, perfmodel.DefaultTransfer()},
+	}
+	for _, c := range configs {
+		el := element.New(element.Config{Seed: DefaultSeed, Virtual: true, Transfer: c.transfer})
+		run := hybrid.New(el, element.ACMLG, nil)
+		rep := run.GemmVirtual(24320, 24320, 1216, 1, 0)
+		s.Add(c.idx, rep.GFLOPS())
+	}
+	return s
+}
+
+// StagingLabels names AblationStaging's x values.
+var StagingLabels = []string{"naive pageable (0.5 GB/s)", "pageable memcpy (0.75 GB/s)", "pinned chunked (2.6 GB/s)"}
+
+// AblationTile sweeps the task tile extent: tiny tiles waste kernel launches
+// and transfer setup; the ceiling is what device memory admits.
+func AblationTile(tiles []int) *bench.Series {
+	if tiles == nil {
+		tiles = []int{1024, 2048, 3072, 4096, 5376}
+	}
+	s := &bench.Series{Name: "GFLOPS"}
+	for _, tile := range tiles {
+		dev := gpu.New(gpu.Config{Virtual: true})
+		e := pipeline.NewExecutor(dev, pipeline.Options{
+			Reuse: true, OverlapInput: true, BlockedEO: true, Tile: tile,
+		})
+		rep := e.ExecuteVirtual(16384, 16384, 1216, 1, 0)
+		s.Add(float64(tile), rep.GFLOPS())
+	}
+	return s
+}
+
+// AblationNB sweeps the Linpack blocking factor around the paper's
+// empirically chosen 1216 (Section VI.A: large blocks feed the GPU, too
+// large hurts balance and panel cost).
+func AblationNB(nbs []int) *bench.Series {
+	if nbs == nil {
+		nbs = []int{196, 448, 704, 960, 1216, 1472, 1984, 2432}
+	}
+	s := &bench.Series{Name: "Linpack GFLOPS"}
+	for _, nb := range nbs {
+		n := 46080 - 46080%nb // keep whole blocks
+		res := linpacksim.Run(linpacksim.Config{
+			N: n, NB: nb, Variant: element.ACMLGBoth, Seed: DefaultSeed,
+		})
+		s.Add(float64(nb), res.GFLOPS)
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+func TestAblationOrderingSavesBytes(t *testing.T) {
+	gb, sec := AblationOrdering(12288, 12288, 4096)
+	rowMajor, _ := gb.Y(0)
+	bounce, _ := gb.Y(1)
+	if bounce >= rowMajor {
+		t.Fatalf("bounce ordering must transfer less: %v vs %v GB", bounce, rowMajor)
+	}
+	sr, _ := sec.Y(0)
+	sb, _ := sec.Y(1)
+	if sb > sr*1.001 {
+		t.Fatalf("bounce ordering must not be slower: %v vs %v s", sb, sr)
+	}
+}
+
+func TestAblationBlockRowsBounded(t *testing.T) {
+	s := AblationBlockRows([]int{128, 512, 4096})
+	for _, p := range s.Points {
+		if p.Y < 100 || p.Y > 240 {
+			t.Fatalf("H=%v rate %v implausible", p.X, p.Y)
+		}
+	}
+}
+
+func TestAblationBucketsAllConverge(t *testing.T) {
+	s := AblationBuckets([]int{1, 64})
+	one, _ := s.Y(1)
+	many, _ := s.Y(64)
+	// Both configurations must land in the optimized band; the interesting
+	// output is the relative difference, not a winner.
+	for _, v := range []float64{one, many} {
+		if v < 150 || v > 240 {
+			t.Fatalf("bucket ablation rate %v out of band", v)
+		}
+	}
+}
+
+func TestAblationStagingOrdering(t *testing.T) {
+	s := AblationStaging()
+	naive, _ := s.Y(0)
+	pageable, _ := s.Y(1)
+	pinned, _ := s.Y(2)
+	if !(naive < pageable && pageable < pinned) {
+		t.Fatalf("staging strategies must order naive < pageable < pinned: %v %v %v",
+			naive, pageable, pinned)
+	}
+	if len(StagingLabels) != 3 {
+		t.Fatal("labels out of sync")
+	}
+}
+
+func TestAblationTileSmallTilesLose(t *testing.T) {
+	s := AblationTile([]int{1024, 4096})
+	small, _ := s.Y(1024)
+	big, _ := s.Y(4096)
+	if small >= big {
+		t.Fatalf("tiny tiles must lose to big tiles: %v vs %v", small, big)
+	}
+}
+
+func TestAblationNBShape(t *testing.T) {
+	s := AblationNB([]int{196, 1216, 2432})
+	tiny, _ := s.Y(196)
+	paper, _ := s.Y(1216)
+	huge, _ := s.Y(2432)
+	if tiny >= paper {
+		t.Fatalf("NB=196 (%v) must lose badly to NB=1216 (%v) on the GPU path", tiny, paper)
+	}
+	// The paper's choice must be within a few percent of anything larger:
+	// "too large block size will cause load imbalance" (and panel cost).
+	if paper < huge*0.93 {
+		t.Fatalf("NB=1216 (%v) too far below NB=2432 (%v)", paper, huge)
+	}
+}

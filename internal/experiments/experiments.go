@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section VI). Each Fig* function returns the data
+// series the corresponding figure plots; the cmd binaries print them and the
+// root bench suite runs them under testing.B. All runs are deterministic in
+// their seed.
+package experiments
+
+import (
+	"tianhe/internal/adaptive"
+	"tianhe/internal/bench"
+	"tianhe/internal/cluster"
+	"tianhe/internal/element"
+	"tianhe/internal/hybrid"
+	"tianhe/internal/linpacksim"
+	"tianhe/internal/pipeline"
+)
+
+// DefaultSeed is the seed every experiment binary uses unless overridden.
+const DefaultSeed = 2009 // the Top500 list year the paper's run appeared in
+
+// Fig8Sizes is the DGEMM sweep of Figure 8.
+var Fig8Sizes = []int{2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384}
+
+// Fig8 measures hybrid DGEMM GFLOPS by matrix size for the five
+// configurations. Adaptive variants report the second-run value, as the
+// paper does ("the first run updates the databases").
+func Fig8(seed uint64, sizes []int) []*bench.Series {
+	if sizes == nil {
+		sizes = Fig8Sizes
+	}
+	var out []*bench.Series
+	maxN := sizes[len(sizes)-1]
+	for _, v := range element.Variants {
+		s := &bench.Series{Name: v.String()}
+		for _, n := range sizes {
+			cfg := element.Config{Seed: seed, Virtual: true}
+			if v == element.CPUOnly {
+				cfg.CPUCores = 4 // host-only runs use all four cores
+			}
+			el := element.New(cfg)
+			var part adaptive.Partitioner
+			if v.Adaptive() {
+				work := 2 * float64(maxN) * float64(maxN) * float64(maxN)
+				part = adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
+			}
+			run := hybrid.New(el, v, part)
+			var g float64
+			for i := 0; i < 3; i++ {
+				g = run.GemmVirtual(n, n, n, 1, el.Now()).GFLOPS()
+			}
+			s.Add(float64(n), g)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig9Sizes is the Linpack sweep of Figure 9 (the paper's headline point is
+// N = 46000; NB = 1216 rounds it to 46080's neighborhood).
+var Fig9Sizes = []int{4864, 9728, 14592, 19456, 24320, 29184, 34048, 38912, 43776, 46080}
+
+// Fig9 measures single-element Linpack GFLOPS by problem size for the five
+// configurations. The vendor-library baseline runs with pageable transfers
+// (unmodified HPL hands it pageable memory); the optimized variants stage
+// through the pinned pool.
+func Fig9(seed uint64, sizes []int) []*bench.Series {
+	if sizes == nil {
+		sizes = Fig9Sizes
+	}
+	var out []*bench.Series
+	for _, v := range element.Variants {
+		s := &bench.Series{Name: v.String()}
+		for _, n := range sizes {
+			res := linpacksim.Run(linpacksim.Config{
+				N: n, Variant: v, Seed: seed,
+				PageableLibrary: v == element.ACMLG,
+			})
+			s.Add(float64(n), res.GFLOPS)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig10 runs one adaptive Linpack and returns database_g's split per
+// workload bucket (GSplit versus workload, Figure 10), along with the
+// initial peak-ratio value.
+func Fig10(seed uint64, n int) (entries []adaptive.Entry, initial float64) {
+	if n <= 0 {
+		n = 46080
+	}
+	res := linpacksim.Run(linpacksim.Config{
+		N: n, Variant: element.ACMLGBoth, Seed: seed,
+	})
+	ad := res.Part.(*adaptive.Adaptive)
+	return ad.G.Snapshot(), ad.G.Initial()
+}
+
+// Fig11Processes is the process sweep of Figure 11 (one cabinet).
+var Fig11Processes = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig11 compares the adaptive mapping against the Qilin-style trained
+// mapping across process counts within a cabinet. The problem size grows
+// with sqrt(P) to keep per-element memory constant.
+func Fig11(seed uint64, procs []int) (ours, qilin *bench.Series) {
+	if procs == nil {
+		procs = Fig11Processes
+	}
+	ours = &bench.Series{Name: "adaptive"}
+	qilin = &bench.Series{Name: "qilin-trained"}
+	for _, p := range procs {
+		n := scaledN(46080, p)
+		for _, pol := range []cluster.Policy{cluster.PolicyAdaptive, cluster.PolicyTrained} {
+			r := cluster.SimulateScale(cluster.ScaleConfig{
+				N: n, NB: 1216, Processes: p, Seed: seed, Policy: pol,
+			})
+			if pol == cluster.PolicyAdaptive {
+				ours.Add(float64(p), r.GFLOPS)
+			} else {
+				qilin.Add(float64(p), r.GFLOPS)
+			}
+		}
+	}
+	return ours, qilin
+}
+
+// Fig12Cabinets is the cabinet sweep of Figure 12.
+var Fig12Cabinets = []int{1, 2, 5, 10, 20, 40, 80}
+
+// Fig12 measures Linpack TFLOPS by cabinet count on the down-clocked
+// configuration, problem size growing from 280,000 to the full-machine
+// 2,240,000.
+func Fig12(seed uint64, cabinets []int) *bench.Series {
+	if cabinets == nil {
+		cabinets = Fig12Cabinets
+	}
+	s := &bench.Series{Name: "TFLOPS"}
+	for _, c := range cabinets {
+		n := scaledN(280000, c)
+		if c == 80 {
+			n = 2240000 - 2240000%1216
+		}
+		r := cluster.SimulateScale(cluster.ScaleConfig{
+			N: n, NB: 1216, Processes: 64 * c, Seed: seed,
+			Policy: cluster.PolicyAdaptive, Downclock: true,
+		})
+		s.Add(float64(c), r.TFLOPS)
+	}
+	return s
+}
+
+// Fig13 runs the full-machine configuration and returns the cumulative
+// performance (TFLOPS) versus progress curve.
+func Fig13(seed uint64) []cluster.ProgressPoint {
+	r := cluster.SimulateScale(cluster.ScaleConfig{
+		N: 2240000 - 2240000%1216, NB: 1216, Processes: 5120, Seed: seed,
+		Policy: cluster.PolicyAdaptive, Downclock: true, RecordProgress: true,
+	})
+	return r.Progress
+}
+
+// TableI renders the CT/NT pipeline schedule of Table I for the 2x2 task
+// split of Fig. 5 (tasks bounce-ordered T0, T1, T3, T2).
+func TableI() string {
+	p := pipeline.NewPlan(2*4096, 2*4096, 4096, 4096, true)
+	rows := pipeline.Schedule(pipeline.BounceOrderNames(p))
+	return pipeline.FormatSchedule(rows)
+}
+
+// scaledN grows a base problem size with sqrt(units), rounded down to a
+// multiple of the 1216 blocking factor (constant memory per element).
+func scaledN(base, units int) int {
+	s := 1.0
+	for i := 0; i < 60; i++ { // Newton iteration for sqrt(units); units <= 80
+		s = 0.5 * (s + float64(units)/s)
+	}
+	n := int(float64(base) * s)
+	n -= n % 1216
+	if n < 1216 {
+		n = 1216
+	}
+	return n
+}

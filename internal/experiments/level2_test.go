@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"tianhe/internal/perfmodel"
+)
+
+func TestLevel2StudyImproves(t *testing.T) {
+	for _, xeon := range []perfmodel.Xeon{perfmodel.XeonE5540, perfmodel.XeonE5450} {
+		r := Level2Study(xeon, 3)
+		if r.AdaptiveSeconds >= r.EqualSeconds {
+			t.Fatalf("%v: adaptive core splits must beat equal splits (%v vs %v)",
+				xeon, r.AdaptiveSeconds, r.EqualSeconds)
+		}
+		if r.Gain < 0.01 || r.Gain > 0.5 {
+			t.Fatalf("%v: gain %.1f%% implausible", xeon, r.Gain*100)
+		}
+	}
+}
+
+func TestLevel2SplitsSumToOne(t *testing.T) {
+	r := Level2Study(perfmodel.XeonE5450, 5)
+	var sum float64
+	for _, s := range r.Splits {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("splits sum %v", sum)
+	}
+}
+
+func TestLevel2InterferedCoreGetsLess(t *testing.T) {
+	// Core 0 shares its L2 with the comm core; the converged split must give
+	// it less work than the average.
+	r := Level2Study(perfmodel.XeonE5450, 7)
+	avg := 1.0 / float64(len(r.Splits))
+	if r.Splits[0] >= avg {
+		t.Fatalf("comm-adjacent core got %v of the work, average %v", r.Splits[0], avg)
+	}
+}
+
+func TestLevel2E5450GainsAtLeastE5540(t *testing.T) {
+	// The paired-L2 part suffers more interference, so level 2 recovers at
+	// least as much there.
+	g40 := Level2Study(perfmodel.XeonE5540, 11).Gain
+	g50 := Level2Study(perfmodel.XeonE5450, 11).Gain
+	if g50 < g40-0.005 {
+		t.Fatalf("E5450 gain %.2f%% unexpectedly below E5540's %.2f%%", g50*100, g40*100)
+	}
+}

@@ -1,0 +1,243 @@
+// Package gpu simulates the ATI RV770 accelerator of a TianHe-1 compute
+// element at the level the paper's techniques care about: a 1 GiB local
+// memory with 8192x8192 2D-resource limits, a DMA engine whose transfers pay
+// the two-hop host/PCI-E cost, and a command queue executing DGEMM kernels at
+// a shape-dependent rate. Kernels compute real float64 results through the
+// pure-Go BLAS so every optimized path stays verifiable; durations are booked
+// on sim.Timeline resources in virtual time.
+//
+// A Device may also run in virtual mode (no backing data), used by the
+// cluster-scale experiments where only timing matters.
+package gpu
+
+import (
+	"fmt"
+
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/sim"
+)
+
+// Config selects the modelled hardware configuration of a device.
+type Config struct {
+	// Model is the kernel-rate model; zero value selects DefaultGPU.
+	Model perfmodel.GPU
+	// Transfer is the CPU-GPU path model; zero value selects the pinned
+	// chunked staging path.
+	Transfer perfmodel.Transfer
+	// MemBytes is the local memory capacity; 0 selects the RV770's 1 GiB.
+	MemBytes int64
+	// TextureLimit caps each dimension of an allocation; 0 selects 8192.
+	TextureLimit int
+	// Virtual disables data storage and arithmetic: buffers are shape-only
+	// and kernels only book time.
+	Virtual bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == (perfmodel.GPU{}) {
+		c.Model = perfmodel.DefaultGPU()
+	}
+	if c.Transfer == (perfmodel.Transfer{}) {
+		c.Transfer = perfmodel.DefaultTransfer()
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = perfmodel.GPULocalMemBytes
+	}
+	if c.TextureLimit == 0 {
+		c.TextureLimit = perfmodel.TextureLimit
+	}
+	return c
+}
+
+// Device is one simulated GPU chip.
+type Device struct {
+	cfg   Config
+	used  int64
+	pool  *PinnedPool
+	Queue *sim.Timeline // kernel execution engine
+	DMA   *sim.Timeline // transfer engine (one per device: a single
+	// dedicated host thread drives it, as in the paper)
+}
+
+// New returns a device with the given configuration.
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	return &Device{
+		cfg:   cfg,
+		pool:  NewPinnedPool(0),
+		Queue: sim.NewTimeline("gpu.queue"),
+		DMA:   sim.NewTimeline("gpu.dma"),
+	}
+}
+
+// Pool exposes the pinned staging pool (tests drain it to exercise the
+// pageable fallback).
+func (d *Device) Pool() *PinnedPool { return d.pool }
+
+// Model returns the device's kernel-rate model.
+func (d *Device) Model() perfmodel.GPU { return d.cfg.Model }
+
+// SetModel replaces the kernel-rate model, e.g. when the engine clock is
+// reduced mid-experiment or thermal drift rescales the chip's rate. Already
+// booked spans are unaffected.
+func (d *Device) SetModel(m perfmodel.GPU) { d.cfg.Model = m }
+
+// TransferModel returns the device's CPU-GPU path model.
+func (d *Device) TransferModel() perfmodel.Transfer { return d.cfg.Transfer }
+
+// TextureLimit returns the maximum allocation extent per dimension.
+func (d *Device) TextureLimit() int { return d.cfg.TextureLimit }
+
+// MemBytes returns the local memory capacity.
+func (d *Device) MemBytes() int64 { return d.cfg.MemBytes }
+
+// MemUsed returns the currently allocated local memory.
+func (d *Device) MemUsed() int64 { return d.used }
+
+// Virtual reports whether the device skips real arithmetic.
+func (d *Device) Virtual() bool { return d.cfg.Virtual }
+
+// Reset frees all memory and clears both engines back to time zero.
+func (d *Device) Reset() {
+	d.used = 0
+	d.Queue.Reset()
+	d.DMA.Reset()
+}
+
+// ErrOutOfMemory reports an allocation exceeding device memory.
+type ErrOutOfMemory struct {
+	Requested, Used, Capacity int64
+}
+
+func (e ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpu: out of local memory: need %d bytes, %d of %d in use",
+		e.Requested, e.Used, e.Capacity)
+}
+
+// ErrTextureLimit reports an allocation whose extent exceeds the 2D resource
+// limit; callers must split such matrices into tasks (Section V.C).
+type ErrTextureLimit struct {
+	Rows, Cols, Limit int
+}
+
+func (e ErrTextureLimit) Error() string {
+	return fmt.Sprintf("gpu: %dx%d allocation exceeds the %d texture limit",
+		e.Rows, e.Cols, e.Limit)
+}
+
+// Buffer is a 2D allocation in device local memory.
+type Buffer struct {
+	dev        *Device
+	Rows, Cols int
+	data       *matrix.Dense // nil in virtual mode
+	freed      bool
+}
+
+// Bytes returns the allocation size in bytes (8 bytes per element).
+func (b *Buffer) Bytes() int64 { return 8 * int64(b.Rows) * int64(b.Cols) }
+
+// Data exposes the backing matrix for verification; nil in virtual mode.
+func (b *Buffer) Data() *matrix.Dense { return b.data }
+
+// Alloc reserves a rows x cols buffer in local memory.
+func (d *Device) Alloc(rows, cols int) (*Buffer, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gpu: invalid allocation %dx%d", rows, cols)
+	}
+	if rows > d.cfg.TextureLimit || cols > d.cfg.TextureLimit {
+		return nil, ErrTextureLimit{Rows: rows, Cols: cols, Limit: d.cfg.TextureLimit}
+	}
+	b := &Buffer{dev: d, Rows: rows, Cols: cols}
+	if d.used+b.Bytes() > d.cfg.MemBytes {
+		return nil, ErrOutOfMemory{Requested: b.Bytes(), Used: d.used, Capacity: d.cfg.MemBytes}
+	}
+	d.used += b.Bytes()
+	if !d.cfg.Virtual {
+		b.data = matrix.NewDense(rows, cols)
+	}
+	return b, nil
+}
+
+// Free releases the buffer's local memory. Freeing twice panics: it would
+// corrupt the accounting exactly like a real double-free.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("gpu: double free of device buffer")
+	}
+	b.freed = true
+	b.dev.used -= b.Bytes()
+}
+
+// Upload copies src into dst, booking the transfer on the DMA engine no
+// earlier than earliest. The returned span is the transfer's interval.
+func (d *Device) Upload(src *matrix.Dense, dst *Buffer, earliest sim.Time) sim.Span {
+	if dst.freed {
+		panic("gpu: upload into freed buffer")
+	}
+	if !d.cfg.Virtual {
+		if src.Rows != dst.Rows || src.Cols != dst.Cols {
+			panic(fmt.Sprintf("gpu: upload shape mismatch %dx%d -> %dx%d",
+				src.Rows, src.Cols, dst.Rows, dst.Cols))
+		}
+		dst.data.CopyFrom(src)
+	}
+	tr, done := d.transferModel()
+	defer done()
+	return d.DMA.Book("up", earliest, tr.Seconds(dst.Bytes()))
+}
+
+// UploadBytes books a shape-only upload of the given size (virtual paths).
+func (d *Device) UploadBytes(bytes int64, earliest sim.Time) sim.Span {
+	tr, done := d.transferModel()
+	defer done()
+	return d.DMA.Book("up", earliest, tr.Seconds(bytes))
+}
+
+// Download copies src back to host memory dst, booking the DMA engine.
+func (d *Device) Download(src *Buffer, dst *matrix.Dense, earliest sim.Time) sim.Span {
+	if src.freed {
+		panic("gpu: download from freed buffer")
+	}
+	if !d.cfg.Virtual {
+		if src.Rows != dst.Rows || src.Cols != dst.Cols {
+			panic(fmt.Sprintf("gpu: download shape mismatch %dx%d -> %dx%d",
+				src.Rows, src.Cols, dst.Rows, dst.Cols))
+		}
+		dst.CopyFrom(src.data)
+	}
+	tr, done := d.transferModel()
+	defer done()
+	return d.DMA.Book("down", earliest, tr.Seconds(src.Bytes()))
+}
+
+// DownloadBytes books a shape-only download of the given size.
+func (d *Device) DownloadBytes(bytes int64, earliest sim.Time) sim.Span {
+	tr, done := d.transferModel()
+	defer done()
+	return d.DMA.Book("down", earliest, tr.Seconds(bytes))
+}
+
+// Gemm executes C = alpha*A*B + beta*C on device buffers, booking the kernel
+// on the command queue after its dependencies. Real arithmetic runs unless
+// the device is virtual.
+func (d *Device) Gemm(alpha float64, a, b *Buffer, beta float64, c *Buffer, deps ...sim.Span) sim.Span {
+	if a.freed || b.freed || c.freed {
+		panic("gpu: kernel on freed buffer")
+	}
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("gpu: kernel shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if !d.cfg.Virtual {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a.data, b.data, beta, c.data)
+	}
+	dur := d.cfg.Model.KernelSeconds(a.Rows, b.Cols, a.Cols)
+	return d.Queue.BookAfter("gemm", dur, deps...)
+}
+
+// GemmVirtual books a kernel of the given shape without operand buffers.
+func (d *Device) GemmVirtual(m, n, k int, deps ...sim.Span) sim.Span {
+	return d.Queue.BookAfter("gemm", d.cfg.Model.KernelSeconds(m, n, k), deps...)
+}

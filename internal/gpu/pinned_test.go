@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"tianhe/internal/perfmodel"
+)
+
+func TestPinnedPoolDefaults(t *testing.T) {
+	p := NewPinnedPool(0)
+	if p.Total() != 8 || p.ChunkBytes() != perfmodel.PinnedPoolBytes {
+		t.Fatalf("pool %d chunks of %d bytes", p.Total(), p.ChunkBytes())
+	}
+}
+
+func TestPinnedPoolAcquireRelease(t *testing.T) {
+	p := NewPinnedPool(3 * perfmodel.PinnedPoolBytes)
+	if err := p.Acquire(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("in use %d", p.InUse())
+	}
+	err := p.Acquire(2)
+	var ex ErrPinnedExhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("over-acquire should fail, got %v", err)
+	}
+	p.Release(2)
+	if p.InUse() != 0 {
+		t.Fatal("release failed")
+	}
+}
+
+func TestPinnedPoolUnderflowPanics(t *testing.T) {
+	p := NewPinnedPool(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release underflow should panic")
+		}
+	}()
+	p.Release(1)
+}
+
+func TestPinnedPoolTinySizeStillOneChunk(t *testing.T) {
+	p := NewPinnedPool(1)
+	if p.Total() != 1 {
+		t.Fatalf("tiny pool has %d chunks", p.Total())
+	}
+}
+
+func TestTransferFallsBackWhenPoolDrained(t *testing.T) {
+	d := New(Config{Virtual: true})
+	fast := d.UploadBytes(256<<20, 0).Duration()
+
+	// Drain the pool: subsequent transfers must pay the pageable rate.
+	if err := d.Pool().Acquire(d.Pool().Total()); err != nil {
+		t.Fatal(err)
+	}
+	slow := d.UploadBytes(256<<20, 0).Duration()
+	if slow <= fast {
+		t.Fatalf("drained pool must force the slower pageable path: %v vs %v", slow, fast)
+	}
+	want := perfmodel.PageableTransfer().Seconds(256 << 20)
+	if slow != want {
+		t.Fatalf("fallback duration %v, want pageable %v", slow, want)
+	}
+	d.Pool().Release(d.Pool().Total())
+	again := d.UploadBytes(256<<20, 0).Duration()
+	if diff := again - fast; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("restored pool must restore the pinned rate: %v vs %v", again, fast)
+	}
+}
+
+func TestTransferReleasesChunks(t *testing.T) {
+	d := New(Config{Virtual: true})
+	d.UploadBytes(1<<20, 0)
+	d.DownloadBytes(1<<20, 0)
+	if d.Pool().InUse() != 0 {
+		t.Fatalf("transfers leaked %d pinned chunks", d.Pool().InUse())
+	}
+}
+
+func TestNonChunkedConfigSkipsPool(t *testing.T) {
+	d := New(Config{Virtual: true, Transfer: perfmodel.NaiveTransfer()})
+	if err := d.Pool().Acquire(d.Pool().Total()); err != nil {
+		t.Fatal(err)
+	}
+	// The naive path never touches the pool, so draining it changes nothing.
+	got := d.UploadBytes(64<<20, 0).Duration()
+	want := perfmodel.NaiveTransfer().Seconds(64 << 20)
+	if got != want {
+		t.Fatalf("naive transfer %v, want %v", got, want)
+	}
+}

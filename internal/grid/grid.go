@@ -1,0 +1,100 @@
+// Package grid implements the P x Q process grid and block-cyclic
+// distribution maps HPL uses to spread an N x N matrix over ranks. The
+// distributed solver uses a 1 x Q (column block-cyclic) layout; the
+// cluster-scale performance model uses the paper's full 2D grids (up to
+// 64 x 80 on TianHe-1).
+package grid
+
+import "fmt"
+
+// Grid is a P x Q arrangement of ranks in row-major order: rank = p*Q + q.
+type Grid struct {
+	P, Q int
+}
+
+// New validates and returns a grid.
+func New(p, q int) Grid {
+	if p <= 0 || q <= 0 {
+		panic(fmt.Sprintf("grid: invalid %dx%d grid", p, q))
+	}
+	return Grid{P: p, Q: q}
+}
+
+// Size returns the number of ranks.
+func (g Grid) Size() int { return g.P * g.Q }
+
+// Coords returns the (row, col) position of a rank.
+func (g Grid) Coords(rank int) (p, q int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("grid: rank %d outside %dx%d", rank, g.P, g.Q))
+	}
+	return rank / g.Q, rank % g.Q
+}
+
+// Rank returns the rank at position (p, q).
+func (g Grid) Rank(p, q int) int {
+	if p < 0 || p >= g.P || q < 0 || q >= g.Q {
+		panic(fmt.Sprintf("grid: coords (%d,%d) outside %dx%d", p, q, g.P, g.Q))
+	}
+	return p*g.Q + q
+}
+
+// Squarish returns the most square P x Q factorization of size with P <= Q,
+// the usual HPL choice for a given process count.
+func Squarish(size int) Grid {
+	if size <= 0 {
+		panic("grid: non-positive size")
+	}
+	best := Grid{P: 1, Q: size}
+	for p := 1; p*p <= size; p++ {
+		if size%p == 0 {
+			best = Grid{P: p, Q: size / p}
+		}
+	}
+	return best
+}
+
+// CyclicOwner returns which of count ranks owns global block index b under
+// 1D block-cyclic distribution.
+func CyclicOwner(b, count int) int { return b % count }
+
+// CyclicLocalIndex returns the local position of global block b on its
+// owner.
+func CyclicLocalIndex(b, count int) int { return b / count }
+
+// CyclicBlocks returns how many of nblocks global blocks land on the rank at
+// position idx among count ranks.
+func CyclicBlocks(nblocks, idx, count int) int {
+	full := nblocks / count
+	if idx < nblocks%count {
+		full++
+	}
+	return full
+}
+
+// LocalExtent returns how many of n global elements, tiled in blocks of nb,
+// the rank at position idx among count ranks owns under block-cyclic
+// distribution (the ScaLAPACK "numroc" computation).
+func LocalExtent(n, nb, idx, count int) int {
+	nblocks := n / nb
+	extra := n % nb
+	out := CyclicBlocks(nblocks, idx, count) * nb
+	if extra > 0 && CyclicOwner(nblocks, count) == idx {
+		out += extra
+	}
+	return out
+}
+
+// TrailingLocal returns the local extent of the trailing submatrix that
+// starts at global block gb (inclusive), for the rank at position idx.
+func TrailingLocal(n, nb, gb, idx, count int) int {
+	total := LocalExtent(n, nb, idx, count)
+	// Subtract the blocks before gb owned by idx.
+	owned := 0
+	for b := 0; b < gb; b++ {
+		if CyclicOwner(b, count) == idx {
+			owned += nb
+		}
+	}
+	return total - owned
+}

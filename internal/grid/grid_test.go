@@ -1,0 +1,125 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordsRankRoundTrip(t *testing.T) {
+	g := New(3, 5)
+	for r := 0; r < g.Size(); r++ {
+		p, q := g.Coords(r)
+		if g.Rank(p, q) != r {
+			t.Fatalf("round trip failed for rank %d", r)
+		}
+	}
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	g := New(2, 4)
+	if p, q := g.Coords(5); p != 1 || q != 1 {
+		t.Fatalf("coords(5) = (%d,%d)", p, q)
+	}
+}
+
+func TestSquarish(t *testing.T) {
+	cases := map[int][2]int{
+		1:    {1, 1},
+		4:    {2, 2},
+		6:    {2, 3},
+		64:   {8, 8},
+		5120: {64, 80},
+		7:    {1, 7},
+	}
+	for size, want := range cases {
+		g := Squarish(size)
+		if g.P != want[0] || g.Q != want[1] {
+			t.Fatalf("Squarish(%d) = %dx%d, want %dx%d", size, g.P, g.Q, want[0], want[1])
+		}
+	}
+}
+
+func TestSquarishTianHe(t *testing.T) {
+	// The paper's full machine: 5120 processes in a 64 x 80 grid.
+	g := Squarish(5120)
+	if g.P != 64 || g.Q != 80 {
+		t.Fatalf("full-machine grid = %dx%d, paper uses 64x80", g.P, g.Q)
+	}
+}
+
+func TestCyclicOwnership(t *testing.T) {
+	if CyclicOwner(7, 3) != 1 || CyclicLocalIndex(7, 3) != 2 {
+		t.Fatal("cyclic maps wrong")
+	}
+}
+
+func TestCyclicBlocksSum(t *testing.T) {
+	f := func(nb uint8, cnt uint8) bool {
+		n := int(nb)
+		count := int(cnt)%8 + 1
+		total := 0
+		for i := 0; i < count; i++ {
+			total += CyclicBlocks(n, i, count)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalExtent(t *testing.T) {
+	// 10 columns, blocks of 3 over 2 ranks: blocks 0,2 (rank 0) and 1,3
+	// (rank 1); block 3 is the ragged single column.
+	if got := LocalExtent(10, 3, 0, 2); got != 6 {
+		t.Fatalf("rank 0 extent %d", got)
+	}
+	if got := LocalExtent(10, 3, 1, 2); got != 4 {
+		t.Fatalf("rank 1 extent %d", got)
+	}
+}
+
+func TestLocalExtentSumsToN(t *testing.T) {
+	f := func(nRaw, nbRaw, cntRaw uint8) bool {
+		n := int(nRaw) + 1
+		nb := int(nbRaw)%16 + 1
+		count := int(cntRaw)%6 + 1
+		sum := 0
+		for i := 0; i < count; i++ {
+			sum += LocalExtent(n, nb, i, count)
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingLocal(t *testing.T) {
+	// 12 columns, NB=3, 2 ranks. After factoring block 0 (owned by rank 0),
+	// rank 0 still owns block 2 -> 3 columns; rank 1 owns blocks 1,3 -> 6.
+	if got := TrailingLocal(12, 3, 1, 0, 2); got != 3 {
+		t.Fatalf("rank 0 trailing %d", got)
+	}
+	if got := TrailingLocal(12, 3, 1, 1, 2); got != 6 {
+		t.Fatalf("rank 1 trailing %d", got)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 3) },
+		func() { Squarish(0) },
+		func() { New(2, 2).Coords(4) },
+		func() { New(2, 2).Rank(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,177 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+func factored(t *testing.T, n int, seed uint64) (a, lu *matrix.Dense, ipiv []int, b []float64) {
+	t.Helper()
+	a, b = Generate(n, seed)
+	lu = a.Clone()
+	ipiv = make([]int, n)
+	if err := Dgetrf(lu, ipiv, Options{NB: 32}); err != nil {
+		t.Fatal(err)
+	}
+	return a, lu, ipiv, b
+}
+
+func TestSolveFactoredTranspose(t *testing.T) {
+	a, lu, ipiv, _ := factored(t, 64, 1)
+	// Build a rhs with known solution: b = A^T * xTrue.
+	xTrue := make([]float64, 64)
+	matrix.FillRandomVector(xTrue, sim.NewRNG(2))
+	b := make([]float64, 64)
+	blas.Dgemv(blas.Trans, 1, a, xTrue, 0, b)
+	SolveFactoredTranspose(lu, ipiv, b)
+	if d := matrix.VecMaxDiff(b, xTrue); d > 1e-9 {
+		t.Fatalf("transpose solve off by %v", d)
+	}
+}
+
+func TestIterativeRefineImprovesPerturbedSolution(t *testing.T) {
+	a, lu, ipiv, b := factored(t, 96, 3)
+	x := append([]float64(nil), b...)
+	SolveFactored(lu, ipiv, x)
+	// Perturb the solution, then let refinement recover it.
+	for i := range x {
+		x[i] += 1e-6 * float64(i%7)
+	}
+	_, before := residualInf(a, x, b)
+	steps, after := IterativeRefine(a, lu, ipiv, b, x, 5)
+	if steps == 0 {
+		t.Fatal("refinement should have taken at least one step")
+	}
+	if after >= before {
+		t.Fatalf("refinement failed: %v -> %v", before, after)
+	}
+	if after > 1e-10 {
+		t.Fatalf("refined residual %v still large", after)
+	}
+}
+
+func residualInf(a *matrix.Dense, x, b []float64) ([]float64, float64) {
+	ax := matrix.MulVec(a, x)
+	r := make([]float64, len(b))
+	var norm float64
+	for i := range r {
+		r[i] = b[i] - ax[i]
+		if v := math.Abs(r[i]); v > norm {
+			norm = v
+		}
+	}
+	return r, norm
+}
+
+func TestIterativeRefineStopsAtConvergence(t *testing.T) {
+	a, lu, ipiv, b := factored(t, 64, 5)
+	x := append([]float64(nil), b...)
+	SolveFactored(lu, ipiv, x)
+	steps, _ := IterativeRefine(a, lu, ipiv, b, x, 10)
+	if steps > 3 {
+		t.Fatalf("an already-good solution should converge immediately, took %d steps", steps)
+	}
+}
+
+func TestEstimateRcondWellConditioned(t *testing.T) {
+	// A diagonally dominant matrix is well conditioned: rcond well above 0.
+	n := 64
+	a := matrix.NewDense(n, n)
+	a.FillDiagonallyDominant(sim.NewRNG(7))
+	lu := a.Clone()
+	ipiv := make([]int, n)
+	if err := Dgetrf(lu, ipiv, Options{NB: 16}); err != nil {
+		t.Fatal(err)
+	}
+	rcond := EstimateRcond(lu, ipiv, a.NormOne())
+	if rcond < 1e-4 || rcond > 1 {
+		t.Fatalf("rcond %v for a well-conditioned matrix", rcond)
+	}
+}
+
+func TestEstimateRcondIllConditioned(t *testing.T) {
+	// Two nearly parallel rows make the matrix nearly singular.
+	n := 32
+	a := matrix.NewDense(n, n)
+	a.FillRandom(sim.NewRNG(8))
+	for j := 0; j < n; j++ {
+		a.Set(1, j, a.At(0, j)*(1+1e-12))
+	}
+	lu := a.Clone()
+	ipiv := make([]int, n)
+	if err := Dgetrf(lu, ipiv, Options{NB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rcond := EstimateRcond(lu, ipiv, a.NormOne())
+	if rcond > 1e-8 {
+		t.Fatalf("rcond %v too large for a nearly singular matrix", rcond)
+	}
+}
+
+func TestEstimateRcondOrdersConditioning(t *testing.T) {
+	// The estimator must rank a well-conditioned matrix above a poorly
+	// conditioned one.
+	mk := func(scale float64) float64 {
+		n := 48
+		a := matrix.NewDense(n, n)
+		a.FillRandom(sim.NewRNG(9))
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+scale)
+		}
+		lu := a.Clone()
+		ipiv := make([]int, n)
+		if err := Dgetrf(lu, ipiv, Options{NB: 16}); err != nil {
+			t.Fatal(err)
+		}
+		return EstimateRcond(lu, ipiv, a.NormOne())
+	}
+	good := mk(100) // strongly dominant diagonal
+	poor := mk(0.51)
+	if good <= poor {
+		t.Fatalf("rcond ordering wrong: dominant %v vs weak %v", good, poor)
+	}
+}
+
+func TestEstimateRcondSingular(t *testing.T) {
+	lu := matrix.NewDense(4, 4) // zero diagonal: singular factors
+	if got := EstimateRcond(lu, []int{0, 1, 2, 3}, 1); got != 0 {
+		t.Fatalf("singular rcond %v, want 0", got)
+	}
+}
+
+func TestEstimateRcondAgainstTrueInverseNorm(t *testing.T) {
+	// For a small matrix, compare against the exact ||A^{-1}||_1 computed by
+	// solving for every unit vector. Hager's estimate is a lower bound that
+	// is usually within a small factor.
+	n := 24
+	a := matrix.NewDense(n, n)
+	a.FillDiagonallyDominant(sim.NewRNG(10))
+	lu := a.Clone()
+	ipiv := make([]int, n)
+	if err := Dgetrf(lu, ipiv, Options{NB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var invNorm float64
+	for j := 0; j < n; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		SolveFactored(lu, ipiv, e)
+		if s := blas.Dasum(e); s > invNorm {
+			invNorm = s
+		}
+	}
+	trueRcond := 1 / (a.NormOne() * invNorm)
+	est := EstimateRcond(lu, ipiv, a.NormOne())
+	// Hager's method lower-bounds ||A^{-1}||_1, so the rcond estimate
+	// upper-bounds the true value — and is usually within a small factor.
+	if est < trueRcond*0.9999 {
+		t.Fatalf("estimate %v below true rcond %v (the estimator must upper-bound it)", est, trueRcond)
+	}
+	if est > trueRcond*10 {
+		t.Fatalf("estimate %v too far above true rcond %v", est, trueRcond)
+	}
+}

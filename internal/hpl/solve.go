@@ -1,0 +1,42 @@
+package hpl
+
+import (
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+)
+
+// SolveFactored solves A*x = b given the in-place LU factorization produced
+// by Dgetrf and its pivot vector. b is overwritten with the solution.
+func SolveFactored(lu *matrix.Dense, ipiv []int, b []float64) {
+	n := lu.Cols
+	if lu.Rows != n {
+		panic("hpl: SolveFactored requires a square factorization")
+	}
+	if len(b) != n {
+		panic("hpl: SolveFactored rhs length mismatch")
+	}
+	// Apply the row interchanges to b, then L*y = Pb, then U*x = y.
+	for k := 0; k < n; k++ {
+		if p := ipiv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	blas.Dtrsv(blas.Lower, blas.NoTrans, blas.Unit, lu, b)
+	blas.Dtrsv(blas.Upper, blas.NoTrans, blas.NonUnit, lu, b)
+}
+
+// Solve factors a copy of a and solves A*x = b, returning the solution. It is
+// the convenience entry point for tests and examples; the benchmark driver
+// uses Dgetrf and SolveFactored directly so the factorization can be timed
+// separately.
+func Solve(a *matrix.Dense, b []float64, opts Options) ([]float64, error) {
+	lu := a.Clone()
+	ipiv := make([]int, lu.Cols)
+	err := Dgetrf(lu, ipiv, opts)
+	if err != nil {
+		return nil, err
+	}
+	x := append([]float64(nil), b...)
+	SolveFactored(lu, ipiv, x)
+	return x, nil
+}

@@ -1,0 +1,240 @@
+// Package hybrid orchestrates one DGEMM across the CPU cores and the GPU of
+// a compute element, the way the paper's optimized library does: the row
+// dimension of A (and C) is cut at M*GSplit (Fig. 3), the top part runs on
+// the GPU through the Section V pipeline executor, the bottom part is sliced
+// across the compute cores by the CSplit fractions, and the measured virtual
+// times feed back into the partitioner — the complete Section IV loop.
+package hybrid
+
+import (
+	"fmt"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/matrix"
+	"tianhe/internal/pipeline"
+	"tianhe/internal/sim"
+)
+
+// Report describes one hybrid DGEMM execution.
+type Report struct {
+	// M, N, K is the executed shape; Work its flop count.
+	M, N, K int
+	Work    float64
+	// GSplit is the fraction of rows that actually ran on the GPU.
+	GSplit float64
+	// TG and TC are the durations of the GPU side (transfers included) and
+	// of the slowest CPU core, measured from Start.
+	TG, TC sim.Time
+	// Start and End bound the whole operation in virtual time.
+	Start, End sim.Time
+	// CoreWorks and CoreTimes hold the level-2 measurements.
+	CoreWorks, CoreTimes []float64
+	// BytesIn/BytesOut/BytesSkipped mirror the pipeline report.
+	BytesIn, BytesOut, BytesSkipped int64
+}
+
+// Seconds returns the end-to-end duration.
+func (r Report) Seconds() float64 { return r.End - r.Start }
+
+// GFLOPS returns the achieved rate.
+func (r Report) GFLOPS() float64 {
+	s := r.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return r.Work / s / 1e9
+}
+
+// Runner executes hybrid DGEMMs on one element under one policy.
+type Runner struct {
+	el      *element.Element
+	variant element.Variant
+	part    adaptive.Partitioner
+	exec    *pipeline.Executor
+}
+
+// New builds a runner for the given variant. part supplies the splits for
+// the adaptive variants and must be nil otherwise (CPU-only runs everything
+// on the cores; plain ACMLG offloads everything to the GPU).
+func New(el *element.Element, v element.Variant, part adaptive.Partitioner) *Runner {
+	if v.Adaptive() == (part == nil) {
+		panic(fmt.Sprintf("hybrid: variant %v and partitioner presence disagree", v))
+	}
+	opts := pipeline.Options{}
+	if v.Pipelined() {
+		opts = pipeline.Pipelined()
+	}
+	return &Runner{
+		el:      el,
+		variant: v,
+		part:    part,
+		exec:    pipeline.NewExecutor(el.GPU, opts),
+	}
+}
+
+// Variant returns the runner's configuration.
+func (r *Runner) Variant() element.Variant { return r.variant }
+
+// Element returns the underlying compute element.
+func (r *Runner) Element() *element.Element { return r.el }
+
+// Partitioner returns the policy, nil for the fixed variants.
+func (r *Runner) Partitioner() adaptive.Partitioner { return r.part }
+
+// gpuRows returns how many of m rows go to the GPU.
+func (r *Runner) gpuRows(m int, work float64) (int, float64) {
+	if !r.variant.UsesGPU() {
+		return 0, 0
+	}
+	if r.part == nil {
+		return m, 1
+	}
+	split := r.part.GSplit(work)
+	m1 := int(float64(m)*split + 0.5)
+	if m1 < 0 {
+		m1 = 0
+	}
+	if m1 > m {
+		m1 = m
+	}
+	return m1, split
+}
+
+// allocRows distributes total rows proportionally to fracs with the largest
+// remainder method, so the slice counts sum exactly to total.
+func allocRows(total int, fracs []float64) []int {
+	n := len(fracs)
+	out := make([]int, n)
+	if total == 0 || n == 0 {
+		return out
+	}
+	var sum float64
+	for _, f := range fracs {
+		sum += f
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, f := range fracs {
+		exact := float64(total) * f / sum
+		out[i] = int(exact)
+		assigned += out[i]
+		rems[i] = rem{idx: i, frac: exact - float64(out[i])}
+	}
+	// Hand the leftover rows to the largest remainders.
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return out
+}
+
+// Gemm executes C = alpha*A*B + beta*C with real data, returning the timing
+// report. The arithmetic is exact; all durations are virtual.
+func (r *Runner) Gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, earliest sim.Time) Report {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("hybrid: DGEMM shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	return r.gemm(alpha, a, b, beta, c, a.Rows, b.Cols, a.Cols, earliest)
+}
+
+// GemmVirtual books the timing of an m x n x k hybrid DGEMM without data.
+func (r *Runner) GemmVirtual(m, n, k int, beta float64, earliest sim.Time) Report {
+	return r.gemm(1, nil, nil, beta, nil, m, n, k, earliest)
+}
+
+func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, m, n, k int, earliest sim.Time) Report {
+	virtual := c == nil
+	work := 2 * float64(m) * float64(n) * float64(k)
+	m1, _ := r.gpuRows(m, work)
+	m2 := m - m1
+
+	rep := Report{M: m, N: n, K: k, Work: work, Start: earliest, End: earliest}
+	if m > 0 {
+		rep.GSplit = float64(m1) / float64(m)
+	}
+
+	// GPU side: rows [0, m1).
+	if m1 > 0 {
+		var prep pipeline.Report
+		if virtual {
+			prep = r.exec.ExecuteVirtual(m1, n, k, beta, earliest)
+		} else {
+			prep = r.exec.Execute(alpha,
+				a.View(0, 0, m1, k), b, beta,
+				c.View(0, 0, m1, n), earliest)
+		}
+		rep.TG = prep.End - earliest
+		rep.BytesIn, rep.BytesOut, rep.BytesSkipped = prep.BytesIn, prep.BytesOut, prep.BytesSkipped
+		if prep.End > rep.End {
+			rep.End = prep.End
+		}
+	}
+
+	// CPU side: rows [m1, m) sliced across the cores by CSplit.
+	if m2 > 0 {
+		var csplits []float64
+		if r.part != nil {
+			csplits = r.part.CSplits()
+		} else {
+			nc := r.el.CPU.NumCores()
+			csplits = make([]float64, nc)
+			for i := range csplits {
+				csplits[i] = 1 / float64(nc)
+			}
+		}
+		rows := allocRows(m2, csplits)
+		rep.CoreWorks = make([]float64, len(rows))
+		rep.CoreTimes = make([]float64, len(rows))
+		commActive := m1 > 0
+		off := m1
+		for i, mi := range rows {
+			if mi == 0 {
+				continue
+			}
+			core := r.el.CPU.Core(i)
+			var sp sim.Span
+			if virtual {
+				sp = core.GemmVirtual(mi, n, k, commActive, earliest)
+			} else {
+				sp = core.Gemm(alpha,
+					a.View(off, 0, mi, k), b, beta,
+					c.View(off, 0, mi, n), commActive, earliest)
+			}
+			rep.CoreWorks[i] = 2 * float64(mi) * float64(n) * float64(k)
+			rep.CoreTimes[i] = sp.End - earliest
+			if rep.CoreTimes[i] > rep.TC {
+				rep.TC = rep.CoreTimes[i]
+			}
+			if sp.End > rep.End {
+				rep.End = sp.End
+			}
+			off += mi
+		}
+	}
+
+	// Feedback: the five-timer-read update of Section IV.C.
+	if r.part != nil {
+		r.part.Observe(adaptive.Observation{
+			Work:      work,
+			GSplit:    rep.GSplit,
+			TG:        rep.TG,
+			TC:        rep.TC,
+			CoreWorks: rep.CoreWorks,
+			CoreTimes: rep.CoreTimes,
+		})
+	}
+	return rep
+}

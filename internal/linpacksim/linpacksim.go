@@ -1,0 +1,133 @@
+// Package linpacksim simulates the time structure of one Linpack run on a
+// single compute element, iteration by iteration: panel factorization and
+// the U12 triangular solve on the CPU (overlapped with the trailing update
+// in the usual look-ahead fashion), and the trailing m x n x NB DGEMM on the
+// hybrid CPU/GPU path under one of the five evaluated configurations. The
+// arithmetic is not performed — problem sizes like N = 46000 are far beyond
+// real execution here — but the control structure, the adaptive feedback
+// loop and every booked duration are identical to the real small-scale runs,
+// which the hpl package verifies for correctness.
+package linpacksim
+
+import (
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/hpl"
+	"tianhe/internal/hybrid"
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/sim"
+)
+
+// PanelRateGFLOPS is the effective rate of the recursive panel factorization
+// on the host cores. The recursion converts most panel flops into DGEMMs of
+// half-panels, so the rate sits below but not far from the host DGEMM rate;
+// only the pivot searches and rank-1 leaves are memory-bound.
+const PanelRateGFLOPS = 18.0
+
+// TrsmRateGFLOPS is the host rate of the U12 triangular solve, a BLAS3
+// operation running slightly below the straight DGEMM rate.
+const TrsmRateGFLOPS = 26.0
+
+// Config describes one simulated Linpack run.
+type Config struct {
+	// N is the problem order and NB the blocking factor. NB <= 0 selects the
+	// paper's value for the variant: 1216 with the GPU, 196 host-only.
+	N, NB int
+	// Variant selects the configuration under test.
+	Variant element.Variant
+	// Seed drives the element's deterministic noise.
+	Seed uint64
+	// Part carries the adaptive databases. Nil builds fresh databases for
+	// adaptive variants (the paper's "initial version" of Fig. 9); passing a
+	// trained/persisted database reproduces the second-run behaviour.
+	Part adaptive.Partitioner
+	// PageableLibrary marks the vendor-library configuration of the paper's
+	// Linpack baseline: unmodified HPL hands the library pageable host
+	// memory, so every CPU-GPU transfer pays the slow pageable path instead
+	// of the pinned staging pool. The optimized variants stage through
+	// pinned memory as part of the pipeline machinery.
+	PageableLibrary bool
+	// GPUModel optionally overrides the GPU rate model (e.g. down-clocked).
+	GPUModel perfmodel.GPU
+}
+
+// Result reports one simulated run.
+type Result struct {
+	N, NB      int
+	Variant    element.Variant
+	Seconds    float64
+	GFLOPS     float64
+	Iterations int
+	// Part exposes the partitioner after the run (database_g holds the
+	// adapted splits; Fig. 10 plots its snapshot).
+	Part adaptive.Partitioner
+}
+
+// DefaultNB returns the paper's blocking factor for a variant.
+func DefaultNB(v element.Variant) int {
+	if v.UsesGPU() {
+		return 1216
+	}
+	return 196
+}
+
+// Run simulates one Linpack execution and returns its timing.
+func Run(cfg Config) Result {
+	nb := cfg.NB
+	if nb <= 0 {
+		nb = DefaultNB(cfg.Variant)
+	}
+	elCfg := element.Config{
+		Seed:     cfg.Seed,
+		Virtual:  true,
+		GPUModel: cfg.GPUModel,
+	}
+	if cfg.Variant == element.CPUOnly {
+		elCfg.CPUCores = perfmodel.CoresPerCPU // no comm core needed
+	}
+	if cfg.PageableLibrary {
+		elCfg.Transfer = perfmodel.PageableTransfer()
+	}
+	el := element.New(elCfg)
+	el.GPU.Queue.SetRecording(false)
+	el.GPU.DMA.SetRecording(false)
+	for _, c := range el.CPU.Cores() {
+		c.TL.SetRecording(false)
+	}
+
+	part := cfg.Part
+	if cfg.Variant.Adaptive() && part == nil {
+		part = adaptive.NewAdaptive(64, hpl.LinpackFlops(cfg.N), el.InitialGSplit(), el.CPU.NumCores())
+	}
+	runner := hybrid.New(el, cfg.Variant, part)
+
+	var t sim.Time
+	iters := 0
+	for j := 0; j < cfg.N; j += nb {
+		jb := min(nb, cfg.N-j)
+		trailing := cfg.N - j - jb
+		iters++
+
+		// Panel factorization of the (trailing+jb) x jb panel plus the U12
+		// triangular solve, both on the host. With look-ahead they overlap
+		// the trailing update of this iteration, so only their excess over
+		// the update lands on the critical path.
+		panelFlops := float64(jb) * float64(jb) * (float64(trailing) + float64(jb)/3)
+		trsmFlops := float64(jb) * float64(jb) * float64(trailing)
+		hostSide := t + panelFlops/(PanelRateGFLOPS*1e9) + trsmFlops/(TrsmRateGFLOPS*1e9)
+
+		if trailing > 0 {
+			rep := runner.GemmVirtual(trailing, trailing, jb, 1, t)
+			t = rep.End
+		}
+		if hostSide > t {
+			t = hostSide
+		}
+	}
+	res := Result{
+		N: cfg.N, NB: nb, Variant: cfg.Variant,
+		Seconds: t, Iterations: iters, Part: part,
+	}
+	res.GFLOPS = hpl.LinpackFlops(cfg.N) / t / 1e9
+	return res
+}

@@ -1,0 +1,129 @@
+package linpacksim
+
+import (
+	"testing"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/hpl"
+	"tianhe/internal/perfmodel"
+)
+
+func TestDefaultNB(t *testing.T) {
+	// Section VI.A: NB=196 for CPU-only runs, NB=1216 with the GPU.
+	if DefaultNB(element.CPUOnly) != 196 {
+		t.Fatalf("CPU-only NB = %d", DefaultNB(element.CPUOnly))
+	}
+	for _, v := range []element.Variant{element.ACMLG, element.ACMLGBoth} {
+		if DefaultNB(v) != 1216 {
+			t.Fatalf("%v NB = %d", v, DefaultNB(v))
+		}
+	}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	res := Run(Config{N: 24320, Variant: element.ACMLGBoth, Seed: 1})
+	if res.N != 24320 || res.NB != 1216 {
+		t.Fatalf("metadata: %+v", res)
+	}
+	if res.Iterations != 20 {
+		t.Fatalf("iterations = %d, want 20", res.Iterations)
+	}
+	if res.Seconds <= 0 || res.GFLOPS <= 0 {
+		t.Fatal("no time or rate reported")
+	}
+	wantRate := hpl.LinpackFlops(24320) / res.Seconds / 1e9
+	if res.GFLOPS != wantRate {
+		t.Fatal("GFLOPS inconsistent with Seconds")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{N: 14592, Variant: element.ACMLGBoth, Seed: 5}
+	a, b := Run(cfg), Run(cfg)
+	if a.Seconds != b.Seconds {
+		t.Fatal("same seed must give identical timing")
+	}
+}
+
+func TestVariantOrderingAtHeadlineSize(t *testing.T) {
+	var rates []float64
+	for _, v := range element.Variants {
+		res := Run(Config{N: 46080, Variant: v, Seed: 2,
+			PageableLibrary: v == element.ACMLG})
+		rates = append(rates, res.GFLOPS)
+	}
+	// CPU < ACMLG < adaptive < both and pipe < both.
+	if !(rates[0] < rates[1] && rates[1] < rates[2] && rates[2] < rates[4] && rates[3] < rates[4]) {
+		t.Fatalf("variant ordering broken: %v", rates)
+	}
+}
+
+func TestPageableLibraryHurts(t *testing.T) {
+	fast := Run(Config{N: 24320, Variant: element.ACMLG, Seed: 3})
+	slow := Run(Config{N: 24320, Variant: element.ACMLG, Seed: 3, PageableLibrary: true})
+	if slow.GFLOPS >= fast.GFLOPS {
+		t.Fatal("pageable transfers must be slower than pinned staging")
+	}
+}
+
+func TestDownclockedGPUModel(t *testing.T) {
+	fast := Run(Config{N: 24320, Variant: element.ACMLGBoth, Seed: 4})
+	slow := Run(Config{N: 24320, Variant: element.ACMLGBoth, Seed: 4,
+		GPUModel: perfmodel.DefaultGPU().Downclocked()})
+	if slow.GFLOPS >= fast.GFLOPS {
+		t.Fatal("down-clocked run must be slower")
+	}
+}
+
+func TestSecondRunWithWarmDatabaseNotSlower(t *testing.T) {
+	// The paper seeds later runs with the adapted database. A warm database
+	// must never lose to the cold initial one.
+	cold := Run(Config{N: 24320, Variant: element.ACMLGBoth, Seed: 6})
+	warm := Run(Config{N: 24320, Variant: element.ACMLGBoth, Seed: 6, Part: cold.Part})
+	if warm.GFLOPS < cold.GFLOPS*0.999 {
+		t.Fatalf("warm run %v GFLOPS worse than cold %v", warm.GFLOPS, cold.GFLOPS)
+	}
+}
+
+func TestPartExposedForAdaptiveVariants(t *testing.T) {
+	res := Run(Config{N: 14592, Variant: element.ACMLGBoth, Seed: 7})
+	ad, ok := res.Part.(*adaptive.Adaptive)
+	if !ok {
+		t.Fatalf("Part has type %T", res.Part)
+	}
+	touched := false
+	for _, e := range ad.G.Snapshot() {
+		if e.Touched {
+			touched = true
+		}
+	}
+	if !touched {
+		t.Fatal("the run must have updated database_g")
+	}
+}
+
+func TestNonAdaptiveVariantsHaveNoPart(t *testing.T) {
+	res := Run(Config{N: 14592, Variant: element.ACMLGPipe, Seed: 8})
+	if res.Part != nil {
+		t.Fatal("non-adaptive variants must not build a partitioner")
+	}
+}
+
+func TestLargerNHigherRate(t *testing.T) {
+	small := Run(Config{N: 9728, Variant: element.ACMLGBoth, Seed: 9})
+	big := Run(Config{N: 46080, Variant: element.ACMLGBoth, Seed: 9})
+	if big.GFLOPS <= small.GFLOPS {
+		t.Fatal("efficiency must grow with problem size")
+	}
+}
+
+func TestCPUOnlyUsesFourCoreNB(t *testing.T) {
+	res := Run(Config{N: 9800, Variant: element.CPUOnly, Seed: 10})
+	if res.NB != 196 {
+		t.Fatalf("NB = %d", res.NB)
+	}
+	if res.GFLOPS < 25 || res.GFLOPS > 45 {
+		t.Fatalf("CPU-only rate %v outside the MKL-like band", res.GFLOPS)
+	}
+}

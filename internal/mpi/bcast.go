@@ -1,0 +1,92 @@
+package mpi
+
+// HPL ships several panel-broadcast algorithms because the best choice
+// depends on how much of the broadcast can overlap computation: the binomial
+// tree minimizes the critical path, the 1-ring minimizes the load on the
+// root (each rank forwards once), and the modified increasing-ring starts
+// the two halves of the ring concurrently. The cluster code selects among
+// them; benchmarks compare them.
+
+// BcastAlg selects a broadcast algorithm.
+type BcastAlg int
+
+const (
+	// BcastBinomial is the log2(p)-round binomial tree (the default).
+	BcastBinomial BcastAlg = iota
+	// BcastRing forwards around a 1-ring: p-1 sequential hops, but every
+	// rank sends at most once — the cheapest shape for overlapped bcasts.
+	BcastRing
+	// BcastRing2 is the two-ring variant: the root feeds both directions,
+	// halving the hop count of the plain ring.
+	BcastRing2
+)
+
+func (a BcastAlg) String() string {
+	switch a {
+	case BcastRing:
+		return "1-ring"
+	case BcastRing2:
+		return "2-ring"
+	}
+	return "binomial"
+}
+
+// BcastWith distributes data from members[rootIdx] with the chosen
+// algorithm. Every member must call it with the same arguments.
+func (c *Comm) BcastWith(alg BcastAlg, members []int, rootIdx, tag int, data []float64) []float64 {
+	switch alg {
+	case BcastRing:
+		return c.bcastRing(members, rootIdx, tag, data)
+	case BcastRing2:
+		return c.bcastRing2(members, rootIdx, tag, data)
+	default:
+		return c.GroupBcast(members, rootIdx, tag, data)
+	}
+}
+
+// bcastRing forwards root -> root+1 -> ... around the ring.
+func (c *Comm) bcastRing(members []int, rootIdx, tag int, data []float64) []float64 {
+	n := len(members)
+	if n <= 1 {
+		return data
+	}
+	me := c.groupIndex(members)
+	v := (me - rootIdx + n) % n // position along the ring, root at 0
+	if v != 0 {
+		data = c.Recv(members[(me-1+n)%n], tag)
+	}
+	if v != n-1 {
+		c.Send(members[(me+1)%n], tag, data)
+	}
+	return data
+}
+
+// bcastRing2 sends both ways around the ring; each direction covers half
+// the members.
+func (c *Comm) bcastRing2(members []int, rootIdx, tag int, data []float64) []float64 {
+	n := len(members)
+	if n <= 1 {
+		return data
+	}
+	me := c.groupIndex(members)
+	v := (me - rootIdx + n) % n
+	up := n / 2 // positions 1..up travel forward, the rest backward
+	switch {
+	case v == 0:
+		c.Send(members[(me+1)%n], tag, data)
+		if n > 2 {
+			c.Send(members[(me-1+n)%n], tag, data)
+		}
+	case v <= up:
+		data = c.Recv(members[(me-1+n)%n], tag)
+		if v < up {
+			c.Send(members[(me+1)%n], tag, data)
+		}
+	default:
+		data = c.Recv(members[(me+1)%n], tag)
+		if v > up+1 {
+			c.Send(members[(me-1+n)%n], tag, data)
+		}
+	}
+	return data
+}

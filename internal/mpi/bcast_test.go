@@ -1,0 +1,104 @@
+package mpi
+
+import "testing"
+
+func runBcastAlg(t *testing.T, alg BcastAlg, size, root int) {
+	t.Helper()
+	w := NewWorld(Config{Size: size})
+	members := make([]int, size)
+	for i := range members {
+		members[i] = i
+	}
+	w.Run(func(c *Comm) {
+		var got []float64
+		if c.Rank() == root {
+			got = c.BcastWith(alg, members, root, 5, []float64{42, 7})
+		} else {
+			got = c.BcastWith(alg, members, root, 5, nil)
+		}
+		if len(got) != 2 || got[0] != 42 || got[1] != 7 {
+			t.Errorf("alg=%v size=%d root=%d rank=%d: got %v", alg, size, root, c.Rank(), got)
+		}
+	})
+}
+
+func TestBcastAlgorithmsDeliverEverywhere(t *testing.T) {
+	for _, alg := range []BcastAlg{BcastBinomial, BcastRing, BcastRing2} {
+		for _, size := range []int{1, 2, 3, 4, 5, 8, 9} {
+			for root := 0; root < size; root++ {
+				runBcastAlg(t, alg, size, root)
+			}
+		}
+	}
+}
+
+func TestBcastAlgNames(t *testing.T) {
+	if BcastBinomial.String() != "binomial" || BcastRing.String() != "1-ring" || BcastRing2.String() != "2-ring" {
+		t.Fatal("algorithm names changed")
+	}
+}
+
+// latencyOf measures the worst receive time of a broadcast of the given
+// payload under an algorithm.
+func latencyOf(t *testing.T, alg BcastAlg, size int, words int) float64 {
+	t.Helper()
+	w := NewWorld(Config{Size: size})
+	members := make([]int, size)
+	for i := range members {
+		members[i] = i
+	}
+	clocks := make([]float64, size)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.BcastWith(alg, members, 0, 1, make([]float64, words))
+		} else {
+			c.BcastWith(alg, members, 0, 1, nil)
+		}
+		clocks[c.Rank()] = c.Now()
+	})
+	worst := 0.0
+	for _, v := range clocks {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func TestBinomialBeatsRingOnCriticalPath(t *testing.T) {
+	// For large groups the binomial tree's log2(p) rounds must beat the
+	// ring's p-1 sequential hops.
+	bin := latencyOf(t, BcastBinomial, 16, 1<<16)
+	ring := latencyOf(t, BcastRing, 16, 1<<16)
+	if bin >= ring {
+		t.Fatalf("binomial %v should beat 1-ring %v at p=16", bin, ring)
+	}
+}
+
+func TestRing2BeatsRing(t *testing.T) {
+	one := latencyOf(t, BcastRing, 12, 1<<16)
+	two := latencyOf(t, BcastRing2, 12, 1<<16)
+	if two >= one {
+		t.Fatalf("2-ring %v should beat 1-ring %v", two, one)
+	}
+}
+
+func TestRingRootSendsOnce(t *testing.T) {
+	// The 1-ring's root clock advances by exactly one injection: the
+	// property that makes it attractive for overlapped panel broadcasts.
+	w := NewWorld(Config{Size: 8})
+	members := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	var rootClock float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.BcastWith(BcastRing, members, 0, 1, make([]float64, 1<<16))
+			rootClock = c.Now()
+		} else {
+			c.BcastWith(BcastRing, members, 0, 1, nil)
+		}
+	})
+	oneSend := latencyOf(t, BcastRing, 2, 1<<16) // a single hop's cost
+	if rootClock > oneSend*1.01 {
+		t.Fatalf("ring root busy %v, expected about one injection %v", rootClock, oneSend)
+	}
+}

@@ -1,0 +1,265 @@
+// Package mpi provides the in-process message-passing substrate the
+// distributed Linpack runs on: ranks execute in goroutines, messages travel
+// over channels, and every communication advances per-rank virtual clocks
+// using the InfiniBand model — a conservative logical-clock simulation. Send
+// is buffered (non-blocking); Recv blocks until a matching (source, tag)
+// message arrives and synchronizes the receiver's clock with the message's
+// arrival time, so end-to-end virtual times come out as they would on the
+// modelled fabric.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"tianhe/internal/perfmodel"
+	"tianhe/internal/sim"
+)
+
+// message is one in-flight transfer.
+type message struct {
+	src, tag int
+	data     []float64
+	arrival  sim.Time
+}
+
+// World is one communicator universe of size ranks.
+type World struct {
+	size            int
+	net             perfmodel.Network
+	ranksPerCabinet int
+
+	mu     sync.Mutex
+	queues map[int]*rankQueue // keyed by destination rank
+	comms  []*Comm
+}
+
+// rankQueue buffers undelivered messages for one destination.
+type rankQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+// Config describes a world.
+type Config struct {
+	// Size is the number of ranks.
+	Size int
+	// Network is the fabric model; the zero value selects the TianHe-1 QDR
+	// InfiniBand model.
+	Network perfmodel.Network
+	// RanksPerCabinet controls when messages pay the second-level-switch
+	// hop; 0 means a single cabinet (never).
+	RanksPerCabinet int
+}
+
+// NewWorld builds a communicator universe.
+func NewWorld(cfg Config) *World {
+	if cfg.Size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	if cfg.Network == (perfmodel.Network{}) {
+		cfg.Network = perfmodel.DefaultNetwork()
+	}
+	w := &World{
+		size:            cfg.Size,
+		net:             cfg.Network,
+		ranksPerCabinet: cfg.RanksPerCabinet,
+		queues:          make(map[int]*rankQueue, cfg.Size),
+	}
+	for r := 0; r < cfg.Size; r++ {
+		q := &rankQueue{}
+		q.cond = sync.NewCond(&q.mu)
+		w.queues[r] = q
+		w.comms = append(w.comms, &Comm{world: w, rank: r, clock: sim.NewClock()})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank r's communicator handle.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of world size %d", r, w.size))
+	}
+	return w.comms[r]
+}
+
+// crossCabinet reports whether two ranks sit in different cabinets.
+func (w *World) crossCabinet(a, b int) bool {
+	if w.ranksPerCabinet <= 0 {
+		return false
+	}
+	return a/w.ranksPerCabinet != b/w.ranksPerCabinet
+}
+
+// Comm is one rank's endpoint. All methods must be called from that rank's
+// goroutine only.
+type Comm struct {
+	world *World
+	rank  int
+	clock *sim.Clock
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Now returns the rank's virtual time.
+func (c *Comm) Now() sim.Time { return c.clock.Now() }
+
+// Advance moves the rank's virtual clock forward by d seconds of local work.
+func (c *Comm) Advance(d sim.Time) { c.clock.Advance(d) }
+
+// Sync moves the rank's clock to at least t.
+func (c *Comm) Sync(t sim.Time) { c.clock.Sync(t) }
+
+// Send transfers data to dst with the given tag. The payload is copied, so
+// the caller may reuse its buffer. Virtual cost: the sender pays the
+// injection time; the message arrives at send time plus the network model's
+// latency and serialization time.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst == c.rank {
+		panic("mpi: send to self")
+	}
+	bytes := int64(8 * len(data))
+	dur := c.world.net.Seconds(bytes, c.world.crossCabinet(c.rank, dst))
+	// Sender-side injection: the rank is busy for the serialization part.
+	sendAt := c.clock.Now()
+	c.clock.Advance(dur)
+	msg := message{
+		src:     c.rank,
+		tag:     tag,
+		data:    append([]float64(nil), data...),
+		arrival: sendAt + dur,
+	}
+	q := c.world.queues[dst]
+	q.mu.Lock()
+	q.pending = append(q.pending, msg)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Recv blocks until a message from src with the given tag arrives, returning
+// its payload and synchronizing this rank's clock with the arrival time.
+// src == Any matches any source.
+func (c *Comm) Recv(src, tag int) []float64 {
+	data, _ := c.RecvFrom(src, tag)
+	return data
+}
+
+// Any matches any source rank in Recv/RecvFrom.
+const Any = -1
+
+// RecvFrom is Recv returning the actual source rank as well.
+func (c *Comm) RecvFrom(src, tag int) ([]float64, int) {
+	q := c.world.queues[c.rank]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.pending {
+			if (src == Any || m.src == src) && m.tag == tag {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				c.clock.Sync(m.arrival)
+				return m.data, m.src
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// Bcast distributes data from root over a binomial tree; every rank must
+// call it with the same tag. Non-roots pass nil and receive the payload.
+func (c *Comm) Bcast(root, tag int, data []float64) []float64 {
+	size := c.world.size
+	if size == 1 {
+		return data
+	}
+	// Rotate ranks so the root is virtual rank 0, then run the standard
+	// binomial tree on virtual ranks.
+	vrank := (c.rank - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+	if vrank != 0 {
+		// Receive from the parent first.
+		parent := vrank &^ lowestBit(vrank)
+		data = c.Recv(toReal(parent), tag)
+	}
+	// Forward to children: vrank + 2^k for 2^k > lowestBit(vrank) while in
+	// range. Root (vrank 0) sends to 1, 2, 4, ...
+	limit := lowestBit(vrank)
+	if vrank == 0 {
+		limit = size
+	}
+	for bit := 1; bit < limit && vrank+bit < size; bit <<= 1 {
+		c.Send(toReal(vrank+bit), tag, data)
+	}
+	return data
+}
+
+func lowestBit(v int) int {
+	if v == 0 {
+		return 0
+	}
+	return v & (-v)
+}
+
+// Barrier synchronizes all ranks: no rank leaves before every rank entered.
+// Implemented as a gather to rank 0 followed by a broadcast, with per-hop
+// network costs.
+func (c *Comm) Barrier(tag int) {
+	if c.world.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.world.size; r++ {
+			c.Recv(Any, tag)
+		}
+	} else {
+		c.Send(0, tag, nil)
+	}
+	c.Bcast(0, tag+1, nil)
+}
+
+// AllreduceMax returns the maximum of x across all ranks, synchronizing
+// clocks along the reduction tree.
+func (c *Comm) AllreduceMax(tag int, x float64) float64 {
+	if c.rank == 0 {
+		m := x
+		for r := 1; r < c.world.size; r++ {
+			v, _ := c.RecvFrom(Any, tag)
+			if v[0] > m {
+				m = v[0]
+			}
+		}
+		out := c.Bcast(0, tag+1, []float64{m})
+		return out[0]
+	}
+	c.Send(0, tag, []float64{x})
+	out := c.Bcast(0, tag+1, nil)
+	return out[0]
+}
+
+// Run launches fn on every rank in its own goroutine and waits for all of
+// them, returning the largest final virtual clock (the parallel makespan).
+func (w *World) Run(fn func(c *Comm)) sim.Time {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			fn(c)
+		}(w.comms[r])
+	}
+	wg.Wait()
+	var end sim.Time
+	for _, c := range w.comms {
+		if t := c.clock.Now(); t > end {
+			end = t
+		}
+	}
+	return end
+}

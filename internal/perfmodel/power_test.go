@@ -1,0 +1,41 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElementPower(t *testing.T) {
+	// 18.5 kW over 64 elements: ~289 W each.
+	if w := ElementPowerW(); math.Abs(w-289.0625) > 1e-9 {
+		t.Fatalf("element power %v W", w)
+	}
+}
+
+func TestSystemPower(t *testing.T) {
+	if SystemPowerKW(80) != 1480 {
+		t.Fatalf("80-cabinet power %v kW", SystemPowerKW(80))
+	}
+}
+
+func TestGreen500MetricMatchesPaper(t *testing.T) {
+	// The paper: 563.1 TFLOPS at 379.24 MFLOPS/W. Our power model implies
+	// 563.1e6 / 1.48e6 = 380.5 — within half a percent of the published
+	// Green500 figure (which uses the formally measured power).
+	got := MFLOPSPerWatt(563.1, Cabinets)
+	if math.Abs(got-379.24) > 5 {
+		t.Fatalf("Green500 metric %v MFLOPS/W, paper reports 379.24", got)
+	}
+}
+
+func TestMFLOPSPerWattEdge(t *testing.T) {
+	if MFLOPSPerWatt(100, 0) != 0 {
+		t.Fatal("zero cabinets must yield 0")
+	}
+}
+
+func TestTrainingEnergy(t *testing.T) {
+	if TrainingEnergyKWh(1) != 37 || TrainingEnergyKWh(80) != 2960 {
+		t.Fatalf("training energy %v / %v", TrainingEnergyKWh(1), TrainingEnergyKWh(80))
+	}
+}

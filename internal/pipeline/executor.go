@@ -1,0 +1,377 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tianhe/internal/gpu"
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// Options selects which of Section V's techniques the executor applies.
+// All false reproduces the vendor-library baseline (ACMLG): tasks run
+// strictly input -> execute -> output with every operand re-transferred.
+type Options struct {
+	// Reuse enables the bounce-corner-turn ordering plus the resident tile
+	// cache, skipping transfers of tiles already in device memory.
+	Reuse bool
+	// OverlapInput enables the CT/NT pipeline: the next task's input phase
+	// runs during the current task's EO stage.
+	OverlapInput bool
+	// BlockedEO fuses the output phase into execution (Fig. 6): the C tile
+	// streams back in H-row blocks through the CB0/CB1 double buffers while
+	// the kernel continues, leaving only the last block on the critical path.
+	BlockedEO bool
+	// BlockRows is H, the EO block height. Zero selects 512.
+	BlockRows int
+	// Tile overrides the tile extent; zero derives it from the device.
+	Tile int
+}
+
+// Pipelined returns the full Section V configuration.
+func Pipelined() Options {
+	return Options{Reuse: true, OverlapInput: true, BlockedEO: true}
+}
+
+func (o Options) withDefaults(dev *gpu.Device) Options {
+	if o.BlockRows <= 0 {
+		o.BlockRows = 512
+	}
+	if o.Tile <= 0 {
+		o.Tile = ChooseTile(dev.TextureLimit(), dev.MemBytes(), o.BlockRows)
+	}
+	return o
+}
+
+// Report summarizes one executed plan.
+type Report struct {
+	// Start and End bound the whole execution in virtual time.
+	Start, End sim.Time
+	// Flops is the plan's operation count.
+	Flops float64
+	// BytesIn and BytesOut are the transferred volumes; BytesSkipped counts
+	// input bytes avoided by tile reuse.
+	BytesIn, BytesOut, BytesSkipped int64
+	// Tasks is the number of tasks in the queue.
+	Tasks int
+}
+
+// Seconds returns the end-to-end virtual duration.
+func (r Report) Seconds() float64 { return r.End - r.Start }
+
+// GFLOPS returns the achieved rate.
+func (r Report) GFLOPS() float64 {
+	s := r.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return r.Flops / s / 1e9
+}
+
+// Executor runs task queues on one device.
+type Executor struct {
+	dev  *gpu.Device
+	opts Options
+}
+
+// NewExecutor builds an executor over the device.
+func NewExecutor(dev *gpu.Device, opts Options) *Executor {
+	return &Executor{dev: dev, opts: opts.withDefaults(dev)}
+}
+
+// Options returns the executor's resolved options.
+func (e *Executor) Options() Options { return e.opts }
+
+// residentTile tracks one cached operand tile in device memory.
+type residentTile struct {
+	buf   *gpu.Buffer // nil in virtual mode
+	bytes int64
+	sp    sim.Span // the transfer that made it resident
+	lru   int
+}
+
+// run is the shared control loop; hostA/B/C are nil in virtual mode.
+func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix.Dense, earliest sim.Time) Report {
+	rep := Report{Flops: p.TotalFlops(), Tasks: len(p.Tasks), Start: earliest}
+	virtual := hostC == nil
+
+	resident := make(map[TileID]*residentTile)
+	lruTick := 0
+	var memInUse int64
+	// The residency budget leaves room for the EO double buffers and two
+	// full C tiles (the real-data path stages whole output tiles, and the
+	// CT/NT overlap keeps two tasks in flight). Sizes come from the plan's
+	// actual tiles, which may be far smaller than the configured maximum.
+	var maxCTile, maxN, maxM int64
+	for _, t := range p.Tasks {
+		if b := 8 * int64(t.M) * int64(t.N); b > maxCTile {
+			maxCTile = b
+		}
+		if int64(t.N) > maxN {
+			maxN = int64(t.N)
+		}
+		if int64(t.M) > maxM {
+			maxM = int64(t.M)
+		}
+	}
+	blockRows := int64(e.opts.BlockRows)
+	if blockRows > maxM {
+		blockRows = maxM
+	}
+	budget := e.dev.MemBytes() - 2*8*blockRows*maxN - 2*maxCTile
+
+	evictFor := func(need int64) {
+		for memInUse+need > budget {
+			var victim TileID
+			best := int(^uint(0) >> 1)
+			for id, rt := range resident {
+				if rt.lru < best {
+					best, victim = rt.lru, id
+				}
+			}
+			if best == int(^uint(0)>>1) {
+				panic(fmt.Sprintf("pipeline: tile of %d bytes cannot fit budget %d", need, budget))
+			}
+			rt := resident[victim]
+			memInUse -= rt.bytes
+			if !virtual {
+				rt.buf.Free()
+			}
+			delete(resident, victim)
+		}
+	}
+
+	// ensure transfers a tile (or finds it resident), returning its buffer
+	// handle and the span after which it is usable.
+	ensure := func(id TileID, host *matrix.Dense, notBefore sim.Time) (*gpu.Buffer, sim.Span) {
+		if rt, ok := resident[id]; ok && e.opts.Reuse {
+			lruTick++
+			rt.lru = lruTick
+			rep.BytesSkipped += p.TileBytes(id)
+			return rt.buf, rt.sp
+		}
+		if rt, ok := resident[id]; ok {
+			// Reuse disabled: drop the stale entry and re-transfer.
+			memInUse -= rt.bytes
+			if !virtual {
+				rt.buf.Free()
+			}
+			delete(resident, id)
+		}
+		bytes := p.TileBytes(id)
+		evictFor(bytes)
+		var buf *gpu.Buffer
+		var sp sim.Span
+		if virtual {
+			sp = e.dev.UploadBytes(bytes, notBefore)
+		} else {
+			rows, cols := p.tileDims(id)
+			var err error
+			buf, err = e.dev.Alloc(rows, cols)
+			if err != nil {
+				panic(fmt.Sprintf("pipeline: device alloc %v: %v", id, err))
+			}
+			var src *matrix.Dense
+			switch id.Matrix {
+			case 'A':
+				src = host.View(id.Row*p.Tile, id.Col*p.Tile, rows, cols)
+			case 'B':
+				src = host.View(id.Row*p.Tile, id.Col*p.Tile, rows, cols)
+			case 'C':
+				src = host.View(id.Row*p.Tile, id.Col*p.Tile, rows, cols)
+			}
+			sp = e.dev.Upload(src, buf, notBefore)
+		}
+		lruTick++
+		resident[id] = &residentTile{buf: buf, bytes: bytes, sp: sp, lru: lruTick}
+		memInUse += bytes
+		rep.BytesIn += bytes
+		return buf, sp
+	}
+
+	// outputJob defers a task's OUTPUT phase so that, in overlap mode, the
+	// next task's N-INPUT transfers are booked on the DMA engine first — the
+	// CT/NT program order of Table I.
+	type outputJob struct {
+		task    *Task
+		kernel  sim.Span
+		eoStart sim.Time
+		cBuf    *gpu.Buffer
+		cBytes  int64
+	}
+	flush := func(job *outputJob) sim.Time {
+		var lastOut sim.Span
+		if e.opts.BlockedEO {
+			blocks := (job.task.M + e.opts.BlockRows - 1) / e.opts.BlockRows
+			if blocks < 1 {
+				blocks = 1
+			}
+			blockBytes := job.cBytes / int64(blocks)
+			kDur := job.kernel.End - job.eoStart
+			for b := 0; b < blocks; b++ {
+				// Block b's rows exist once the kernel has passed them;
+				// approximate readiness with proportional kernel progress.
+				ready := job.eoStart + kDur*float64(b+1)/float64(blocks)
+				bb := blockBytes
+				if b == blocks-1 {
+					ready = job.kernel.End
+					bb = job.cBytes - int64(blocks-1)*blockBytes
+				}
+				lastOut = e.dev.DownloadBytes(bb, ready)
+			}
+		} else {
+			lastOut = e.dev.DownloadBytes(job.cBytes, job.kernel.End)
+		}
+		rep.BytesOut += job.cBytes
+		if !virtual {
+			// The data itself moves once; the bookings above carried the
+			// timing. Copy the computed tile back to the host.
+			dst := hostC.View(job.task.RowOff, job.task.ColOff, job.task.M, job.task.N)
+			dst.CopyFrom(job.cBuf.Data())
+			job.cBuf.Free()
+		}
+		end := lastOut.End
+		if job.kernel.End > end {
+			end = job.kernel.End
+		}
+		if end > rep.End {
+			rep.End = end
+		}
+		return end
+	}
+
+	// prevEOStart is when the previous task entered its EO stage: with
+	// OverlapInput the next task's transfers (the NT object's N-INPUT state)
+	// may begin then; without it they wait for the previous task to finish.
+	prevEOStart := earliest
+	prevTaskEnd := earliest
+	var deferred *outputJob
+
+	for _, task := range p.Tasks {
+		var inputEarliest sim.Time
+		if e.opts.OverlapInput {
+			inputEarliest = prevEOStart
+		} else {
+			// Strict input -> execute -> output: finish the previous task's
+			// output before touching this task's inputs.
+			if deferred != nil {
+				prevTaskEnd = flush(deferred)
+				deferred = nil
+			}
+			inputEarliest = prevTaskEnd
+		}
+
+		// INPUT phase: C tile first when beta != 0 (it must be added to),
+		// then the operand tiles of every accumulation step.
+		var cBuf *gpu.Buffer
+		var cIn sim.Span
+		cID := task.CTile()
+		cBytes := p.TileBytes(cID)
+		if beta != 0 {
+			if virtual {
+				cIn = e.dev.UploadBytes(cBytes, inputEarliest)
+			} else {
+				rows, cols := task.M, task.N
+				var err error
+				cBuf, err = e.dev.Alloc(rows, cols)
+				if err != nil {
+					panic(fmt.Sprintf("pipeline: C tile alloc: %v", err))
+				}
+				src := hostC.View(task.RowOff, task.ColOff, rows, cols)
+				cIn = e.dev.Upload(src, cBuf, inputEarliest)
+			}
+			rep.BytesIn += cBytes
+		} else if !virtual {
+			var err error
+			cBuf, err = e.dev.Alloc(task.M, task.N)
+			if err != nil {
+				panic(fmt.Sprintf("pipeline: C tile alloc: %v", err))
+			}
+		}
+
+		type stepIn struct {
+			a, b     *gpu.Buffer
+			aSp, bSp sim.Span
+		}
+		ins := make([]stepIn, len(task.Steps))
+		for si, st := range task.Steps {
+			aBuf, aSp := ensure(task.ATile(st), hostA, inputEarliest)
+			bBuf, bSp := ensure(task.BTile(st), hostB, inputEarliest)
+			ins[si] = stepIn{a: aBuf, b: bBuf, aSp: aSp, bSp: bSp}
+		}
+
+		// EO stage: accumulation kernels, then the streamed output.
+		var kernel sim.Span
+		var eoStart sim.Time
+		for si, st := range task.Steps {
+			deps := []sim.Span{ins[si].aSp, ins[si].bSp}
+			if beta != 0 {
+				deps = append(deps, cIn)
+			}
+			if si > 0 {
+				deps = append(deps, kernel)
+			}
+			b := beta
+			if si > 0 {
+				b = 1 // later steps accumulate into the partial tile
+			}
+			if virtual {
+				kernel = e.dev.GemmVirtual(task.M, task.N, st.K, deps...)
+			} else {
+				kernel = e.dev.Gemm(alpha, ins[si].a, ins[si].b, b, cBuf, deps...)
+			}
+			if si == 0 {
+				eoStart = kernel.Start
+			}
+		}
+
+		// OUTPUT: deferred so the next task's inputs can be booked first in
+		// overlap mode (the single transfer thread serves N-INPUT before the
+		// bulk of the EO downloads).
+		job := &outputJob{task: task, kernel: kernel, eoStart: eoStart, cBuf: cBuf, cBytes: cBytes}
+		if e.opts.OverlapInput {
+			if deferred != nil {
+				prevTaskEnd = flush(deferred)
+			}
+			deferred = job
+		} else {
+			deferred = job
+		}
+		prevEOStart = eoStart
+	}
+	if deferred != nil {
+		prevTaskEnd = flush(deferred)
+	}
+	_ = prevTaskEnd
+
+	// Release any tiles still resident.
+	if !virtual {
+		for _, rt := range resident {
+			rt.buf.Free()
+		}
+	}
+	return rep
+}
+
+// Execute runs C = alpha*A*B + beta*C on the device with real data,
+// returning the timing report. The result lands in c and is exact (the same
+// arithmetic as the host BLAS).
+func (e *Executor) Execute(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, earliest sim.Time) Report {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("pipeline: DGEMM shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if e.dev.Virtual() {
+		panic("pipeline: Execute needs a non-virtual device; use ExecuteVirtual")
+	}
+	p := NewPlan(c.Rows, c.Cols, a.Cols, e.opts.Tile, e.opts.Reuse)
+	return e.run(p, alpha, beta, a, b, c, earliest)
+}
+
+// ExecuteVirtual books the timing of an m x n x k DGEMM (beta specifying
+// whether C must be transferred in) without real data, for the large-scale
+// simulations.
+func (e *Executor) ExecuteVirtual(m, n, k int, beta float64, earliest sim.Time) Report {
+	p := NewPlan(m, n, k, e.opts.Tile, e.opts.Reuse)
+	return e.run(p, 1, beta, nil, nil, nil, earliest)
+}

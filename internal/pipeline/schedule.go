@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CTState enumerates the Current-Task controller states of Section V.C.
+type CTState uint8
+
+const (
+	// CTIdle initializes the CT object when it takes a new task.
+	CTIdle CTState = iota
+	// CTInput is the prologue stage: the task's matrices are transferred.
+	CTInput
+	// CTEO is the fused Execute/Output stage (loop body and epilogue).
+	CTEO
+)
+
+func (s CTState) String() string {
+	switch s {
+	case CTIdle:
+		return "Idle"
+	case CTInput:
+		return "Input"
+	case CTEO:
+		return "EO"
+	}
+	return "?"
+}
+
+// NTState enumerates the Next-Task controller states.
+type NTState uint8
+
+const (
+	// NTIdle initializes the NT object when it takes a new task.
+	NTIdle NTState = iota
+	// NTInput transfers the next task's matrices, overlapped with CT's EO.
+	NTInput
+)
+
+func (s NTState) String() string {
+	if s == NTInput {
+		return "N-Input"
+	}
+	return "N-Idle"
+}
+
+// StepRow is one line of the pipeline schedule: which task each controller
+// object holds and in which state, at one unit time step. Empty task names
+// mean the controller holds nothing.
+type StepRow struct {
+	Time    int
+	CTTask  string
+	CTState CTState
+	NTTask  string
+	NTState NTState
+}
+
+// Schedule runs the CT/NT state machine over a queue of task names with unit
+// phase durations, reproducing Table I of the paper ("the pipeline shifted
+// in time"). The rules, straight from Section V.C:
+//
+//   - CT always controls the first task in the queue, NT the second if any.
+//   - A newly adopted task sits one step in IDLE (N-IDLE).
+//   - The first task of the whole queue passes through INPUT (the pipeline
+//     prologue); every later task's input already happened under NT, so it
+//     enters EO directly after its IDLE step.
+//   - NT enters N-INPUT while CT is in EO, transferring the next task's
+//     matrices; when CT finishes, the queue pops and both objects adopt new
+//     tasks in their idle states.
+func Schedule(tasks []string) []StepRow {
+	var rows []StepRow
+	t := 0
+	emit := func(ctTask string, cs CTState, ntTask string, ns NTState) {
+		rows = append(rows, StepRow{Time: t, CTTask: ctTask, CTState: cs, NTTask: ntTask, NTState: ns})
+		t++
+	}
+	for i := 0; i < len(tasks); i++ {
+		ct := tasks[i]
+		nt := ""
+		if i+1 < len(tasks) {
+			nt = tasks[i+1]
+		}
+		// Adoption step: CT idle with its new task, NT idle with the next.
+		emit(ct, CTIdle, nt, NTIdle)
+		if i == 0 {
+			// Prologue: only the very first task needs an explicit INPUT
+			// step under CT; NT keeps waiting.
+			emit(ct, CTInput, nt, NTIdle)
+		}
+		// EO step, overlapped with NT's input of the following task.
+		if nt != "" {
+			emit(ct, CTEO, nt, NTInput)
+		} else {
+			// Epilogue: the last task has nothing to prefetch.
+			emit(ct, CTEO, "", NTIdle)
+		}
+	}
+	return rows
+}
+
+// FormatSchedule renders rows in the layout of Table I: one column per
+// (object, state) pair, task names placed in the active cell.
+func FormatSchedule(rows []StepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s | %-5s %-6s %-4s | %-7s %-8s\n", "Time", "Idle", "Input", "EO", "N-Idle", "N-Input")
+	for _, r := range rows {
+		cells := map[string]string{}
+		switch r.CTState {
+		case CTIdle:
+			cells["Idle"] = r.CTTask
+		case CTInput:
+			cells["Input"] = r.CTTask
+		case CTEO:
+			cells["EO"] = r.CTTask
+		}
+		if r.NTTask != "" {
+			switch r.NTState {
+			case NTIdle:
+				cells["N-Idle"] = r.NTTask
+			case NTInput:
+				cells["N-Input"] = r.NTTask
+			}
+		}
+		fmt.Fprintf(&b, "%-5d | %-5s %-6s %-4s | %-7s %-8s\n",
+			r.Time, cells["Idle"], cells["Input"], cells["EO"], cells["N-Idle"], cells["N-Input"])
+	}
+	return b.String()
+}
+
+// BounceOrderNames returns the task-name sequence of a plan, e.g.
+// [T0 T1 T3 T2] for the 2x2 split of Fig. 5 under the bounce corner turn.
+func BounceOrderNames(p *Plan) []string {
+	out := make([]string, len(p.Tasks))
+	for i, t := range p.Tasks {
+		out[i] = t.Name
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableISchedule reproduces Table I of the paper exactly: the CT/NT
+// state sequence for the four bounce-ordered tasks of Fig. 5.
+func TestTableISchedule(t *testing.T) {
+	rows := Schedule([]string{"T0", "T1", "T3", "T2"})
+	want := []StepRow{
+		{0, "T0", CTIdle, "T1", NTIdle},
+		{1, "T0", CTInput, "T1", NTIdle},
+		{2, "T0", CTEO, "T1", NTInput},
+		{3, "T1", CTIdle, "T3", NTIdle},
+		{4, "T1", CTEO, "T3", NTInput},
+		{5, "T3", CTIdle, "T2", NTIdle},
+		{6, "T3", CTEO, "T2", NTInput},
+		{7, "T2", CTIdle, "", NTIdle},
+		{8, "T2", CTEO, "", NTIdle},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("schedule has %d steps, Table I has %d:\n%s", len(rows), len(want), FormatSchedule(rows))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("step %d = %+v, want %+v\n%s", i, rows[i], want[i], FormatSchedule(rows))
+		}
+	}
+}
+
+func TestScheduleOnlyFirstTaskHasInputStep(t *testing.T) {
+	rows := Schedule([]string{"T0", "T1", "T2"})
+	inputs := 0
+	for _, r := range rows {
+		if r.CTState == CTInput {
+			inputs++
+			if r.CTTask != "T0" {
+				t.Fatalf("input step for %s; only the prologue task may have one", r.CTTask)
+			}
+		}
+	}
+	if inputs != 1 {
+		t.Fatalf("%d input steps, want 1", inputs)
+	}
+}
+
+func TestScheduleEveryTaskReachesEO(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E"}
+	rows := Schedule(names)
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.CTState == CTEO {
+			seen[r.CTTask] = true
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Fatalf("task %s never executed", n)
+		}
+	}
+}
+
+func TestScheduleNTPrefetchesDuringEO(t *testing.T) {
+	rows := Schedule([]string{"T0", "T1"})
+	for _, r := range rows {
+		if r.NTState == NTInput && r.CTState != CTEO {
+			t.Fatal("N-INPUT must overlap CT's EO state only")
+		}
+	}
+}
+
+func TestScheduleSingleTask(t *testing.T) {
+	rows := Schedule([]string{"T0"})
+	if len(rows) != 3 {
+		t.Fatalf("single-task schedule has %d steps, want idle/input/EO", len(rows))
+	}
+	for _, r := range rows {
+		if r.NTTask != "" {
+			t.Fatal("no next task exists for a single-task queue")
+		}
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	if rows := Schedule(nil); len(rows) != 0 {
+		t.Fatalf("empty queue schedule: %v", rows)
+	}
+}
+
+func TestFormatScheduleLayout(t *testing.T) {
+	out := FormatSchedule(Schedule([]string{"T0", "T1", "T3", "T2"}))
+	if !strings.Contains(out, "N-Input") || !strings.Contains(out, "T3") {
+		t.Fatalf("formatted schedule missing content:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 10 { // header + 9 steps
+		t.Fatalf("formatted schedule has %d lines", lines)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if CTIdle.String() != "Idle" || CTInput.String() != "Input" || CTEO.String() != "EO" {
+		t.Fatal("CT state names changed")
+	}
+	if NTIdle.String() != "N-Idle" || NTInput.String() != "N-Input" {
+		t.Fatal("NT state names changed")
+	}
+}

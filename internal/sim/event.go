@@ -1,0 +1,101 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a virtual time in an Engine.
+type Event struct {
+	At Time
+	Fn func()
+
+	seq int // tie-breaker: FIFO among equal timestamps
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event simulation loop. The cluster-scale
+// experiments use it to interleave per-process iteration completions.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	nextSeq int
+}
+
+// NewEngine returns an engine at time zero with no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.events, ev)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the earliest pending event, advancing time to it. It reports
+// whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.At
+	ev.Fn()
+	return true
+}
+
+// Run executes events until none remain, returning the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline if it is later than the last event.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].At <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}

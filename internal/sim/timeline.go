@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Time is a virtual timestamp or duration in seconds. Using float64 seconds
+// keeps rate arithmetic (bytes/bandwidth, flops/rate) exact enough for the
+// microsecond-to-hours range this simulator spans.
+type Time = float64
+
+// Span records one operation booked on a Timeline, for tracing and tests.
+type Span struct {
+	Label string
+	Start Time
+	End   Time
+}
+
+// Duration returns the length of the span.
+func (s Span) Duration() Time { return s.End - s.Start }
+
+func (s Span) String() string {
+	return fmt.Sprintf("%s [%.6f, %.6f]", s.Label, s.Start, s.End)
+}
+
+// Timeline models one serially-reusable resource (a GPU command queue, a DMA
+// engine, one CPU core, a NIC). Operations book contiguous intervals; an
+// operation cannot start before the resource is free nor before its
+// dependencies have finished. Overlap between *different* timelines is what
+// produces pipelining in this simulator.
+type Timeline struct {
+	mu     sync.Mutex
+	name   string
+	avail  Time
+	spans  []Span
+	record bool
+}
+
+// NewTimeline returns an empty resource timeline available at time 0.
+func NewTimeline(name string) *Timeline {
+	return &Timeline{name: name, record: true}
+}
+
+// Name returns the resource name the timeline was created with.
+func (t *Timeline) Name() string { return t.name }
+
+// SetRecording controls whether spans are retained. Large-scale simulations
+// disable recording to bound memory.
+func (t *Timeline) SetRecording(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record = on
+}
+
+// Available returns the earliest time a new operation could start.
+func (t *Timeline) Available() Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.avail
+}
+
+// Book schedules an operation of the given duration that may not start
+// before earliest, returning the span it occupies. A negative duration
+// panics: durations come from rate models and must be non-negative.
+func (t *Timeline) Book(label string, earliest Time, duration Time) Span {
+	if duration < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v for %q", duration, label))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.avail
+	if earliest > start {
+		start = earliest
+	}
+	sp := Span{Label: label, Start: start, End: start + duration}
+	t.avail = sp.End
+	if t.record {
+		t.spans = append(t.spans, sp)
+	}
+	return sp
+}
+
+// BookAfter schedules an operation that depends on the given spans: it starts
+// no earlier than the latest dependency end.
+func (t *Timeline) BookAfter(label string, duration Time, deps ...Span) Span {
+	earliest := Time(0)
+	for _, d := range deps {
+		if d.End > earliest {
+			earliest = d.End
+		}
+	}
+	return t.Book(label, earliest, duration)
+}
+
+// AdvanceTo moves the availability forward to at least tm (idle time).
+func (t *Timeline) AdvanceTo(tm Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tm > t.avail {
+		t.avail = tm
+	}
+}
+
+// Spans returns a copy of the recorded spans in booking order.
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Busy returns the total booked time (sum of span durations).
+func (t *Timeline) Busy() Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b Time
+	for _, s := range t.spans {
+		b += s.Duration()
+	}
+	return b
+}
+
+// Reset clears the timeline back to time zero, dropping recorded spans.
+func (t *Timeline) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.avail = 0
+	t.spans = nil
+}
+
+// Latest returns the maximum availability across the given timelines: the
+// virtual time at which all of them are done.
+func Latest(ts ...*Timeline) Time {
+	var m Time
+	for _, t := range ts {
+		if a := t.Available(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MergeSpans gathers the spans of several timelines into one list sorted by
+// start time, prefixing each label with its resource name. Used for the
+// textual pipeline traces.
+func MergeSpans(ts ...*Timeline) []Span {
+	var all []Span
+	for _, t := range ts {
+		for _, s := range t.Spans() {
+			s.Label = t.Name() + ":" + s.Label
+			all = append(all, s)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].Label < all[j].Label
+	})
+	return all
+}

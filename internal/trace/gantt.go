@@ -1,0 +1,141 @@
+// Package trace renders virtual-time resource schedules as ASCII Gantt
+// charts, making the pipeline's overlap structure visible: one row per
+// resource (DMA engine, kernel queue, CPU cores), time flowing rightward,
+// each span drawn as a labelled bar. The pipetrace binary uses it to show
+// how the CT/NT machinery hides transfers behind kernel execution.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tianhe/internal/sim"
+)
+
+// Gantt renders the timelines into a fixed-width chart.
+type Gantt struct {
+	// Width is the number of character cells the time axis spans (default 96).
+	Width int
+	// MinDuration drops spans shorter than this fraction of the full range
+	// from labelling (they still paint); default 0 keeps everything.
+	MinDuration float64
+}
+
+// row is one resource lane.
+type row struct {
+	name  string
+	spans []sim.Span
+}
+
+// Render draws the chart for the given timelines.
+func (g Gantt) Render(timelines ...*sim.Timeline) string {
+	width := g.Width
+	if width <= 0 {
+		width = 96
+	}
+	var rows []row
+	var tMin, tMax sim.Time
+	first := true
+	for _, tl := range timelines {
+		spans := tl.Spans()
+		rows = append(rows, row{name: tl.Name(), spans: spans})
+		for _, s := range spans {
+			if first || s.Start < tMin {
+				tMin = s.Start
+			}
+			if first || s.End > tMax {
+				tMax = s.End
+			}
+			first = false
+		}
+	}
+	if first || tMax == tMin {
+		return "(no spans)\n"
+	}
+	scale := float64(width) / (tMax - tMin)
+	cell := func(t sim.Time) int {
+		c := int((t - tMin) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	nameW := 4
+	for _, r := range rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s |%s|\n", nameW, "time", axis(width, tMin, tMax))
+	for _, r := range rows {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		sort.Slice(r.spans, func(i, j int) bool { return r.spans[i].Start < r.spans[j].Start })
+		for _, s := range r.spans {
+			c0, c1 := cell(s.Start), cell(s.End)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			fill := glyphFor(s.Label)
+			for c := c0; c < c1 && c < width; c++ {
+				lane[c] = fill
+			}
+			// Place the label's first letter at the bar start when it fits.
+			if g.MinDuration <= 0 || s.Duration() >= g.MinDuration*(tMax-tMin) {
+				if c0 < width && len(s.Label) > 0 {
+					lane[c0] = s.Label[0] &^ 0x20 // uppercase marker
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", nameW, r.name, lane)
+	}
+	fmt.Fprintf(&b, "%*s  legend: U=up-transfer  D=down-transfer  G=gemm kernel; lowercase fills continue the bar\n", nameW, "")
+	return b.String()
+}
+
+// glyphFor picks the fill character of a span from its label.
+func glyphFor(label string) byte {
+	switch {
+	case strings.HasPrefix(label, "up"):
+		return 'u'
+	case strings.HasPrefix(label, "down"):
+		return 'd'
+	case strings.HasPrefix(label, "gemm"):
+		return 'g'
+	}
+	return '#'
+}
+
+// axis renders the header ruler with the time range.
+func axis(width int, tMin, tMax sim.Time) string {
+	left := fmt.Sprintf("%.3fs", tMin)
+	right := fmt.Sprintf("%.3fs", tMax)
+	if len(left)+len(right)+2 >= width {
+		return strings.Repeat("-", width)
+	}
+	return left + strings.Repeat("-", width-len(left)-len(right)) + right
+}
+
+// Utilization summarizes how busy each timeline was over the makespan.
+func Utilization(timelines ...*sim.Timeline) string {
+	var b strings.Builder
+	end := sim.Latest(timelines...)
+	if end == 0 {
+		return "(idle)\n"
+	}
+	for _, tl := range timelines {
+		busy := tl.Busy()
+		fmt.Fprintf(&b, "%-12s busy %8.4f s of %8.4f s  (%5.1f%%)\n",
+			tl.Name(), busy, end, busy/end*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package tianhe_test
+
+import (
+	"testing"
+
+	"tianhe"
+	"tianhe/internal/blas"
+	"tianhe/internal/hpl"
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// factorInto and solveWith adapt the internal hpl helpers for the facade
+// refinement test.
+func factorInto(lu *tianhe.Matrix, ipiv []int) error {
+	return hpl.Dgetrf(lu, ipiv, hpl.Options{NB: 32})
+}
+
+func solveWith(lu *tianhe.Matrix, ipiv []int, x []float64) { hpl.SolveFactored(lu, ipiv, x) }
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README's quickstart flow must work exactly as documented.
+	el := tianhe.NewElement(tianhe.ElementConfig{Seed: 1, JitterSigma: -1})
+	run := tianhe.NewRunner(el, tianhe.ACMLGBoth)
+	n := 256
+	r := sim.NewRNG(1)
+	a := tianhe.NewMatrix(n, n)
+	b := tianhe.NewMatrix(n, n)
+	c := tianhe.NewMatrix(n, n)
+	a.FillRandom(r)
+	b.FillRandom(r)
+	rep := run.Gemm(1, a, b, 0, c, 0)
+	if rep.GFLOPS() <= 0 {
+		t.Fatal("no virtual rate reported")
+	}
+	want := matrix.NewDense(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, want)
+	if d := c.MaxDiff(want); d > 1e-11 {
+		t.Fatalf("facade DGEMM wrong by %v", d)
+	}
+}
+
+func TestFacadeLinpackReal(t *testing.T) {
+	res, err := tianhe.RunLinpack(128, 7, tianhe.LinpackOptions{NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestFacadeLinpackSimulated(t *testing.T) {
+	res := tianhe.SimulateLinpack(tianhe.SimulateConfig{
+		N: 24320, Variant: tianhe.ACMLGBoth, Seed: 1,
+	})
+	if res.GFLOPS < 100 || res.GFLOPS > 280 {
+		t.Fatalf("simulated Linpack %v GFLOPS implausible", res.GFLOPS)
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	res, err := tianhe.SolveDistributed(tianhe.DistributedConfig{
+		N: 128, NB: 32, Ranks: 2, Seed: 2, Variant: tianhe.ACMLGBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestFacadeScaleSimulation(t *testing.T) {
+	r := tianhe.SimulateScale(tianhe.ScaleConfig{
+		N: 60800, NB: 1216, Processes: 4, Seed: 3,
+	})
+	if r.GFLOPS <= 0 || r.Iterations != 50 {
+		t.Fatalf("scale sim result: %+v", r)
+	}
+}
+
+func TestFacadeVariantSet(t *testing.T) {
+	if len(tianhe.Variants) != 5 {
+		t.Fatal("five configurations expected")
+	}
+	if tianhe.ACMLGBoth.String() != "ACMLG+both" {
+		t.Fatal("variant naming changed")
+	}
+}
+
+func TestFacadeDistributed2D(t *testing.T) {
+	res, err := tianhe.SolveDistributed2D(tianhe.Distributed2DConfig{
+		N: 128, NB: 32, P: 2, Q: 2, Seed: 4, Variant: tianhe.ACMLGBoth, Lookahead: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %v", res.Residual)
+	}
+}
+
+func TestFacadeRefinementAndRcond(t *testing.T) {
+	n := 96
+	a := tianhe.NewMatrix(n, n)
+	a.FillRandom(sim.NewRNG(6))
+	lu := a.Clone()
+	ipiv := make([]int, n)
+	res, err := tianhe.RunLinpack(n, 6, tianhe.LinpackOptions{NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Exercise the exported refinement path end to end.
+	b := make([]float64, n)
+	matrix.FillRandomVector(b, sim.NewRNG(7))
+	x := append([]float64(nil), b...)
+	if err := factorInto(lu, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	solveWith(lu, ipiv, x)
+	steps, norm := tianhe.RefineSolution(a, lu, ipiv, b, x, 4)
+	if steps < 0 || norm < 0 {
+		t.Fatal("refinement returned nonsense")
+	}
+	if rc := tianhe.EstimateRcond(lu, ipiv, a.NormOne()); rc <= 0 || rc > 1 {
+		t.Fatalf("rcond %v out of range", rc)
+	}
+}
