@@ -1,0 +1,20 @@
+# Development targets. `make check` is the gate every change must pass:
+# it builds all packages, vets them, and runs the full test suite under the
+# race detector.
+
+.PHONY: check build test vet bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -run xxx -bench . -benchtime 10x .

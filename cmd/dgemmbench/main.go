@@ -3,6 +3,8 @@
 // evaluated configurations (CPU, ACMLG, ACMLG+adaptive, ACMLG+pipe,
 // ACMLG+both), and prints the average improvement factors the paper quotes
 // (+14.64% adaptive, +7.61% pipe above N=8192, +22.19% combined).
+// -trace writes the sweep's resource and split traces as Chrome trace-event
+// JSON; -metrics dumps the telemetry registry after the sweep.
 package main
 
 import (
@@ -14,11 +16,14 @@ import (
 
 	"tianhe/internal/bench"
 	"tianhe/internal/experiments"
+	"tianhe/internal/telemetry"
 )
 
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: the Figure 8 sweep)")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the sweep to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the sweep")
 	flag.Parse()
 
 	var sizes []int
@@ -33,9 +38,14 @@ func main() {
 		}
 	}
 
+	var tel *telemetry.Telemetry
+	if *tracePath != "" || *metrics {
+		tel = telemetry.New()
+	}
+
 	fmt.Println("Figure 8 — DGEMM performance by matrix size (single compute element)")
 	fmt.Println()
-	series := experiments.Fig8(*seed, sizes)
+	series := experiments.Fig8Instrumented(*seed, sizes, tel)
 	bench.Table(os.Stdout, "N", "GFLOPS", series...)
 	fmt.Println()
 
@@ -59,4 +69,24 @@ func main() {
 		pipe.GainOver(acmlg, big)*100)
 	fmt.Printf("combined benefit (N > 8192):               %+.2f%%   (paper: +22.19%%)\n",
 		both.GainOver(acmlg, big)*100)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			if err = tel.Trace.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgemmbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", tel.Trace.Len(), *tracePath)
+	}
+	if *metrics {
+		fmt.Println()
+		tel.Metrics.WriteText(os.Stdout)
+	}
 }

@@ -2,7 +2,9 @@
 // performance by problem size on a single compute element for the five
 // configurations, the headline factors at N = 46000 (196.7 GFLOPS, 70.1% of
 // peak, 3.3x the vendor library, 5.49x host-only), and — with -splits — the
-// database_g snapshot of Figure 10 (GPU split ratio by workload).
+// database_g snapshot of Figure 10 (GPU split ratio by workload) together
+// with the GSplit evolution read back from the telemetry trace. -trace
+// writes Chrome trace-event JSON; -metrics dumps the telemetry registry.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"tianhe/internal/experiments"
 	"tianhe/internal/linpacksim"
 	"tianhe/internal/perfmodel"
+	"tianhe/internal/telemetry"
 )
 
 func main() {
@@ -24,20 +27,49 @@ func main() {
 	splits := flag.Bool("splits", false, "print Figure 10 (GSplit by workload) instead of Figure 9")
 	n := flag.Int("n", 46080, "problem size for the headline numbers / split snapshot")
 	dbFile := flag.String("db", "", "persist database_g across runs: load it before an ACMLG+both run at -n and save the adapted state back (the paper's cross-run workflow)")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run(s) to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the run(s)")
 	flag.Parse()
 
-	if *dbFile != "" {
-		persistedRun(*seed, *n, *dbFile)
-		return
-	}
-	if *splits {
-		fig10(*seed, *n)
-		return
+	var tel *telemetry.Telemetry
+	if *tracePath != "" || *metrics || *splits {
+		tel = telemetry.New() // -splits reads the GSplit series from the tracer
 	}
 
+	switch {
+	case *dbFile != "":
+		persistedRun(*seed, *n, *dbFile, tel)
+	case *splits:
+		fig10(*seed, *n, tel)
+	default:
+		fig9(*seed, tel)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			if err = tel.Trace.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linpackbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", tel.Trace.Len(), *tracePath)
+	}
+	if *metrics {
+		fmt.Println()
+		tel.Metrics.WriteText(os.Stdout)
+	}
+}
+
+func fig9(seed uint64, tel *telemetry.Telemetry) {
 	fmt.Println("Figure 9 — Linpack performance by problem size (single compute element)")
 	fmt.Println()
-	series := experiments.Fig9(*seed, nil)
+	series := experiments.Fig9Instrumented(seed, nil, tel)
 	bench.Table(os.Stdout, "N", "GFLOPS", series...)
 	fmt.Println()
 
@@ -60,7 +92,7 @@ func main() {
 // persistedRun executes one adaptive Linpack with database_g loaded from
 // (and saved back to) dbFile, so successive invocations start from the
 // previous run's learned splits.
-func persistedRun(seed uint64, n int, dbFile string) {
+func persistedRun(seed uint64, n int, dbFile string, tel *telemetry.Telemetry) {
 	var part *adaptive.Adaptive
 	el := element.New(element.Config{Seed: seed, Virtual: true})
 	if blob, err := os.ReadFile(dbFile); err == nil {
@@ -74,13 +106,18 @@ func persistedRun(seed uint64, n int, dbFile string) {
 	} else {
 		fmt.Printf("no database at %s; starting from the 0.889 peak ratio\n", dbFile)
 	}
-	cfg := linpacksim.Config{N: n, Variant: element.ACMLGBoth, Seed: seed}
+	cfg := linpacksim.Config{N: n, Variant: element.ACMLGBoth, Seed: seed, Telemetry: tel}
 	if part != nil {
 		cfg.Part = part
 	}
 	res := linpacksim.Run(cfg)
 	fmt.Printf("N=%d NB=%d: %.1f GFLOPS\n", res.N, res.NB, res.GFLOPS)
-	blob, err := json.MarshalIndent(res.Part.(*adaptive.Adaptive).G, "", "  ")
+	ad, ok := adaptive.AsAdaptive(res.Part)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "linpackbench: run returned a non-adaptive partitioner")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(ad.G, "", "  ")
 	if err == nil {
 		err = os.WriteFile(dbFile, blob, 0o644)
 	}
@@ -91,10 +128,10 @@ func persistedRun(seed uint64, n int, dbFile string) {
 	fmt.Printf("saved adapted database_g to %s\n", dbFile)
 }
 
-func fig10(seed uint64, n int) {
+func fig10(seed uint64, n int, tel *telemetry.Telemetry) {
 	fmt.Println("Figure 10 — GPU split ratio by workload (database_g after one Linpack run)")
 	fmt.Println()
-	entries, initial := experiments.Fig10(seed, n)
+	entries, initial := experiments.Fig10Instrumented(seed, n, tel)
 	fmt.Printf("initial value (peak ratio): %.3f   (paper: 0.889)\n\n", initial)
 	fmt.Printf("%-24s %-10s %s\n", "workload bucket (Gflop)", "GSplit", "state")
 	for _, e := range entries {
@@ -103,5 +140,28 @@ func fig10(seed uint64, n int) {
 			state = "adapted"
 		}
 		fmt.Printf("(%9.1f, %9.1f]  %8.4f   %s\n", e.WorkLo/1e9, e.WorkHi/1e9, e.Split, state)
+	}
+
+	// The evolution view of Fig. 10: the per-update GSplit time series, read
+	// back from the telemetry tracer the adaptive decorator streamed into.
+	series := tel.Trace.Series("adaptive.gsplit")
+	if len(series) == 0 {
+		return
+	}
+	fmt.Printf("\nGSplit evolution over the run (%d updates, from the telemetry trace):\n", len(series))
+	step := len(series) / 16
+	if step < 1 {
+		step = 1
+	}
+	fmt.Printf("%-8s %-14s %s\n", "update", "virtual time", "GSplit")
+	lastPrinted := -1
+	for i := 0; i < len(series); i += step {
+		s := series[i]
+		fmt.Printf("%-8d %12.3f s %8.4f\n", i, s.T, s.V)
+		lastPrinted = i
+	}
+	if last := len(series) - 1; last != lastPrinted {
+		s := series[last]
+		fmt.Printf("%-8d %12.3f s %8.4f   (final)\n", last, s.T, s.V)
 	}
 }

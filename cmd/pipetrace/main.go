@@ -1,15 +1,20 @@
 // Command pipetrace regenerates Table I of the paper: the CT/NT
 // state-machine schedule of the software pipeline for a task queue, and
-// optionally a virtual-time resource trace of an actual pipelined DGEMM.
+// optionally a virtual-time resource trace of an actual pipelined DGEMM —
+// as an ASCII Gantt chart (-gantt) and/or a Chrome trace-event JSON file
+// (-trace out.json, loadable in Perfetto) with the telemetry metric dump
+// (-metrics).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"tianhe/internal/gpu"
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/pipeline"
+	"tianhe/internal/telemetry"
 	"tianhe/internal/trace"
 )
 
@@ -18,8 +23,15 @@ func main() {
 	n := flag.Int("n", 16384, "DGEMM columns")
 	k := flag.Int("k", 8192, "DGEMM inner dimension")
 	tile := flag.Int("tile", 0, "task tile extent (0 derives the largest tile that fits device memory)")
-	showTrace := flag.Bool("trace", false, "also print the virtual-time resource trace")
+	gantt := flag.Bool("gantt", false, "also print the virtual-time ASCII resource trace")
+	tracePath := flag.String("trace", "", "write the Table I CT/NT schedule and the resource trace as Chrome trace-event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the run")
 	flag.Parse()
+
+	var tel *telemetry.Telemetry
+	if *tracePath != "" || *metrics {
+		tel = telemetry.New()
+	}
 
 	if *tile <= 0 {
 		*tile = pipeline.ChooseTile(perfmodel.TextureLimit, perfmodel.GPULocalMemBytes, 512)
@@ -30,29 +42,68 @@ func main() {
 		*m, *n, *k, *tile, names)
 	fmt.Println("Table I — the pipeline shifted in time:")
 	fmt.Println()
-	fmt.Print(pipeline.FormatSchedule(pipeline.Schedule(names)))
+	rows := pipeline.Schedule(names)
+	fmt.Print(pipeline.FormatSchedule(rows))
+	pipeline.TraceSchedule(tel.Tracer(), rows)
 
-	if !*showTrace {
-		return
+	if *gantt || tel.Enabled() {
+		runTraces(*m, *n, *k, *tile, *gantt, tel)
 	}
-	fmt.Println()
-	fmt.Println("Virtual-time resource schedule, baseline (no pipelining):")
-	base := gpu.New(gpu.Config{Virtual: true})
-	pipeline.NewExecutor(base, pipeline.Options{Tile: *tile, BlockRows: 2048}).
-		ExecuteVirtual(*m, *n, *k, 1, 0)
-	fmt.Print(trace.Gantt{Width: 88}.Render(base.DMA, base.Queue))
-	fmt.Print(trace.Utilization(base.DMA, base.Queue))
 
-	fmt.Println()
-	fmt.Println("Virtual-time resource schedule, full Section V pipeline:")
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipetrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tel.Trace.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipetrace: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", tel.Trace.Len(), *tracePath)
+	}
+	if *metrics {
+		fmt.Println()
+		tel.Metrics.WriteText(os.Stdout)
+	}
+}
+
+// runTraces executes the baseline and the full Section V pipeline on virtual
+// devices, streaming bookings into the telemetry tracer and printing the
+// ASCII charts when asked.
+func runTraces(m, n, k, tile int, gantt bool, tel *telemetry.Telemetry) {
+	if gantt {
+		fmt.Println()
+		fmt.Println("Virtual-time resource schedule, baseline (no pipelining):")
+	}
+	base := gpu.New(gpu.Config{Virtual: true})
+	telemetry.AttachTimelines(tel, "resource", "baseline/", base.DMA, base.Queue)
+	pipeline.NewExecutor(base, pipeline.Options{Tile: tile, BlockRows: 2048}).
+		ExecuteVirtual(m, n, k, 1, 0)
+	if gantt {
+		fmt.Print(trace.Gantt{Width: 88}.Render(base.DMA, base.Queue))
+		fmt.Print(trace.Utilization(base.DMA, base.Queue))
+
+		fmt.Println()
+		fmt.Println("Virtual-time resource schedule, full Section V pipeline:")
+	}
 	dev := gpu.New(gpu.Config{Virtual: true})
+	telemetry.AttachTimelines(tel, "resource", "pipelined/", dev.DMA, dev.Queue)
 	exec := pipeline.NewExecutor(dev, pipeline.Options{
-		Reuse: true, OverlapInput: true, BlockedEO: true, Tile: *tile, BlockRows: 2048,
+		Reuse: true, OverlapInput: true, BlockedEO: true, Tile: tile, BlockRows: 2048,
+		Telemetry: tel,
 	})
-	rep := exec.ExecuteVirtual(*m, *n, *k, 1, 0)
-	fmt.Print(trace.Gantt{Width: 88}.Render(dev.DMA, dev.Queue))
-	fmt.Print(trace.Utilization(dev.DMA, dev.Queue))
-	fmt.Printf("\nend-to-end: %.3f s, %.1f GFLOPS (virtual), %.2f GB in, %.2f GB out, %.2f GB reused\n",
-		rep.Seconds(), rep.GFLOPS(),
-		float64(rep.BytesIn)/1e9, float64(rep.BytesOut)/1e9, float64(rep.BytesSkipped)/1e9)
+	rep := exec.ExecuteVirtual(m, n, k, 1, 0)
+	if gantt {
+		fmt.Print(trace.Gantt{Width: 88}.Render(dev.DMA, dev.Queue))
+		fmt.Print(trace.Utilization(dev.DMA, dev.Queue))
+		fmt.Printf("\nend-to-end: %.3f s, %.1f GFLOPS (virtual), %.2f GB in, %.2f GB out, %.2f GB reused\n",
+			rep.Seconds(), rep.GFLOPS(),
+			float64(rep.BytesIn)/1e9, float64(rep.BytesOut)/1e9, float64(rep.BytesSkipped)/1e9)
+	}
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"tianhe/internal/telemetry"
+)
+
+// TestTraceExportRoundTrips builds the command, runs it with -trace on the
+// 2x2 task split of Fig. 5, and decodes the JSON back: the file must parse as
+// a Chrome trace-event export and contain the CT/NT state spans of Table I
+// for the bounce-ordered tasks T0, T1, T3, T2.
+func TestTraceExportRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pipetrace")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pipetrace: %v\n%s", err, out)
+	}
+	tracePath := filepath.Join(dir, "tablei.json")
+	cmd := exec.Command(bin,
+		"-m", "8192", "-n", "8192", "-k", "4096", "-tile", "4096",
+		"-trace", tracePath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("running pipetrace: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("pipetrace wrote no trace file: %v", err)
+	}
+	defer f.Close()
+	events, err := telemetry.ParseTrace(f)
+	if err != nil {
+		t.Fatalf("-trace output does not decode as Chrome trace-event JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("-trace output decoded to zero events")
+	}
+
+	ctTasks := make(map[string]bool)
+	ntTasks := make(map[string]bool)
+	for _, e := range events {
+		if e.Phase != telemetry.PhaseSpan {
+			continue
+		}
+		switch e.Track {
+		case "CT":
+			ctTasks[e.Name] = true
+		case "NT":
+			ntTasks[e.Name] = true
+		}
+	}
+	for _, task := range []string{"T0", "T1", "T3", "T2"} {
+		if !ctTasks[task] {
+			t.Errorf("no CT state span for task %s in -trace output", task)
+		}
+	}
+	for _, task := range []string{"T1", "T3", "T2"} {
+		if !ntTasks[task] {
+			t.Errorf("no NT state span for task %s in -trace output", task)
+		}
+	}
+	// The resource trace of the pipelined execution rides along: both virtual
+	// devices contribute span tracks.
+	sawResource := false
+	for _, e := range events {
+		if e.Phase == telemetry.PhaseSpan && e.Track != "CT" && e.Track != "NT" {
+			sawResource = true
+			break
+		}
+	}
+	if !sawResource {
+		t.Error("-trace output has no resource spans beyond the CT/NT schedule")
+	}
+}

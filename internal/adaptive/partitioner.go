@@ -17,6 +17,10 @@ type Observation struct {
 	// CoreWorks and CoreTimes are the per-core flop counts and times for the
 	// level-2 update; they may be nil when only level 1 is in use.
 	CoreWorks, CoreTimes []float64
+	// Start and End bound the execution in virtual time. The update rules
+	// ignore them; the telemetry decorator timestamps its GSplit/CSplit
+	// samples with End. Zero is fine for callers without a clock.
+	Start, End float64
 }
 
 // Partitioner decides how a workload is divided between the GPU and the CPU

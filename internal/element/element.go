@@ -10,6 +10,7 @@ import (
 	"tianhe/internal/gpu"
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // Variant names one of the five evaluated configurations.
@@ -130,6 +131,44 @@ func (e *Element) Now() sim.Time {
 func (e *Element) Reset() {
 	e.CPU.Reset()
 	e.GPU.Reset()
+}
+
+// Timelines returns every resource timeline of the element: the GPU kernel
+// queue and DMA engine followed by the compute cores.
+func (e *Element) Timelines() []*sim.Timeline {
+	tls := []*sim.Timeline{e.GPU.Queue, e.GPU.DMA}
+	for _, c := range e.CPU.Cores() {
+		tls = append(tls, c.TL)
+	}
+	return tls
+}
+
+// Instrument streams every booking on the element's resources into the
+// bundle's tracer (independent of span retention, so large-scale runs that
+// disable recording still trace). label prefixes the track names so several
+// elements sharing one tracer stay distinguishable (empty keeps the bare
+// resource names). A nil bundle is a no-op.
+func (e *Element) Instrument(tel *telemetry.Telemetry, label string) {
+	if label != "" {
+		label += "/"
+	}
+	telemetry.AttachTimelines(tel, "element", label, e.Timelines()...)
+}
+
+// RecordUtilization sets the given gauges to the element's current resource
+// utilization over the makespan: the GPU kernel queue's busy fraction and
+// the mean busy fraction of the compute cores. Nil gauges no-op.
+func (e *Element) RecordUtilization(gpuQueue, cpuCores *telemetry.Gauge) {
+	end := e.Now()
+	if end <= 0 {
+		return
+	}
+	gpuQueue.Set(e.GPU.Queue.Busy() / end)
+	var busy sim.Time
+	for _, c := range e.CPU.Cores() {
+		busy += c.TL.Busy()
+	}
+	cpuCores.Set(busy / (end * float64(e.CPU.NumCores())))
 }
 
 // PeakGFLOPS returns the element's aggregate peak (the paper's 280.5 with

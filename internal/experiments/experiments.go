@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tianhe/internal/adaptive"
 	"tianhe/internal/bench"
 	"tianhe/internal/cluster"
@@ -13,6 +15,7 @@ import (
 	"tianhe/internal/hybrid"
 	"tianhe/internal/linpacksim"
 	"tianhe/internal/pipeline"
+	"tianhe/internal/telemetry"
 )
 
 // DefaultSeed is the seed every experiment binary uses unless overridden.
@@ -25,6 +28,13 @@ var Fig8Sizes = []int{2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384}
 // configurations. Adaptive variants report the second-run value, as the
 // paper does ("the first run updates the databases").
 func Fig8(seed uint64, sizes []int) []*bench.Series {
+	return Fig8Instrumented(seed, sizes, nil)
+}
+
+// Fig8Instrumented is Fig8 with telemetry attached: runner counters, the
+// adaptive GSplit/CSplit series, and live resource traces with tracks
+// prefixed "<variant>.N<size>/". A nil bundle reproduces Fig8 exactly.
+func Fig8Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry) []*bench.Series {
 	if sizes == nil {
 		sizes = Fig8Sizes
 	}
@@ -43,7 +53,11 @@ func Fig8(seed uint64, sizes []int) []*bench.Series {
 				work := 2 * float64(maxN) * float64(maxN) * float64(maxN)
 				part = adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
 			}
-			run := hybrid.New(el, v, part)
+			run := hybrid.New(el, v, adaptive.Instrument(part, tel))
+			if tel.Enabled() {
+				run.Instrument(tel)
+				el.Instrument(tel, fmt.Sprintf("%s.N%d", v, n))
+			}
 			var g float64
 			for i := 0; i < 3; i++ {
 				g = run.GemmVirtual(n, n, n, 1, el.Now()).GFLOPS()
@@ -64,6 +78,12 @@ var Fig9Sizes = []int{4864, 9728, 14592, 19456, 24320, 29184, 34048, 38912, 4377
 // (unmodified HPL hands it pageable memory); the optimized variants stage
 // through the pinned pool.
 func Fig9(seed uint64, sizes []int) []*bench.Series {
+	return Fig9Instrumented(seed, sizes, nil)
+}
+
+// Fig9Instrumented is Fig9 with telemetry threaded through every simulated
+// Linpack run. A nil bundle reproduces Fig9 exactly.
+func Fig9Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry) []*bench.Series {
 	if sizes == nil {
 		sizes = Fig9Sizes
 	}
@@ -74,6 +94,7 @@ func Fig9(seed uint64, sizes []int) []*bench.Series {
 			res := linpacksim.Run(linpacksim.Config{
 				N: n, Variant: v, Seed: seed,
 				PageableLibrary: v == element.ACMLG,
+				Telemetry:       tel,
 			})
 			s.Add(float64(n), res.GFLOPS)
 		}
@@ -86,13 +107,24 @@ func Fig9(seed uint64, sizes []int) []*bench.Series {
 // workload bucket (GSplit versus workload, Figure 10), along with the
 // initial peak-ratio value.
 func Fig10(seed uint64, n int) (entries []adaptive.Entry, initial float64) {
+	return Fig10Instrumented(seed, n, nil)
+}
+
+// Fig10Instrumented is Fig10 with telemetry attached: the run's per-update
+// GSplit/CSplit evolution lands in the bundle's tracer as the
+// "adaptive.gsplit" / "adaptive.work" / "adaptive.csplit.core<i>" counter
+// series (linpackbench -splits reads them from there).
+func Fig10Instrumented(seed uint64, n int, tel *telemetry.Telemetry) (entries []adaptive.Entry, initial float64) {
 	if n <= 0 {
 		n = 46080
 	}
 	res := linpacksim.Run(linpacksim.Config{
-		N: n, Variant: element.ACMLGBoth, Seed: seed,
+		N: n, Variant: element.ACMLGBoth, Seed: seed, Telemetry: tel,
 	})
-	ad := res.Part.(*adaptive.Adaptive)
+	ad, ok := adaptive.AsAdaptive(res.Part)
+	if !ok {
+		panic("experiments: adaptive run returned a non-adaptive partitioner")
+	}
 	return ad.G.Snapshot(), ad.G.Initial()
 }
 

@@ -14,6 +14,7 @@ import (
 	"tianhe/internal/matrix"
 	"tianhe/internal/pipeline"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // Report describes one hybrid DGEMM execution.
@@ -52,6 +53,47 @@ type Runner struct {
 	variant element.Variant
 	part    adaptive.Partitioner
 	exec    *pipeline.Executor
+	probes  *runnerProbes // nil when telemetry is disabled
+}
+
+// runnerProbes holds the runner's metric handles, fetched once so the
+// per-execution cost is a handful of atomic updates.
+type runnerProbes struct {
+	gemms, flops       *telemetry.Counter
+	gsplit, tg, tc     *telemetry.Gauge
+	gflops             *telemetry.Histogram
+	balance            *telemetry.Histogram // TC/TG ratio: 1.0 = perfectly balanced split
+	tracer             *telemetry.Tracer
+	utilGPU, utilCores *telemetry.Gauge
+}
+
+// gflopsBuckets span the single-element rates of Figures 8/9.
+var gflopsBuckets = []float64{25, 50, 75, 100, 125, 150, 175, 200, 225, 250, 280.5}
+
+// balanceBuckets grade TC/TG: near 1 means the split balanced both sides.
+var balanceBuckets = []float64{0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 4}
+
+// Instrument attaches telemetry probes to the runner: per-execution
+// counters, rate/balance histograms, and element-utilization gauges. Span
+// tracing of the element's resource timelines is separate (see
+// element.Instrument) so callers control track naming. A nil bundle is a
+// no-op.
+func (r *Runner) Instrument(tel *telemetry.Telemetry) {
+	if !tel.Enabled() {
+		return
+	}
+	r.probes = &runnerProbes{
+		gemms:     tel.Counter("hybrid.gemms"),
+		flops:     tel.Counter("hybrid.flops"),
+		gsplit:    tel.Gauge("hybrid.gsplit.last"),
+		tg:        tel.Gauge("hybrid.tg_seconds.last"),
+		tc:        tel.Gauge("hybrid.tc_seconds.last"),
+		gflops:    tel.Histogram("hybrid.gflops", gflopsBuckets),
+		balance:   tel.Histogram("hybrid.balance_tc_over_tg", balanceBuckets),
+		tracer:    tel.Trace,
+		utilGPU:   tel.Gauge("element.util.gpu_queue"),
+		utilCores: tel.Gauge("element.util.cpu_cores"),
+	}
 }
 
 // New builds a runner for the given variant. part supplies the splits for
@@ -234,7 +276,22 @@ func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix
 			TC:        rep.TC,
 			CoreWorks: rep.CoreWorks,
 			CoreTimes: rep.CoreTimes,
+			Start:     rep.Start,
+			End:       rep.End,
 		})
+	}
+	if pr := r.probes; pr != nil {
+		pr.gemms.Inc()
+		pr.flops.Add(int64(work))
+		pr.gsplit.Set(rep.GSplit)
+		pr.tg.Set(rep.TG)
+		pr.tc.Set(rep.TC)
+		pr.gflops.Observe(rep.GFLOPS())
+		if rep.TG > 0 && rep.TC > 0 {
+			pr.balance.Observe(rep.TC / rep.TG)
+		}
+		pr.tracer.Sample("hybrid.gflops", rep.End, rep.GFLOPS())
+		r.el.RecordUtilization(pr.utilGPU, pr.utilCores)
 	}
 	return rep
 }

@@ -10,12 +10,15 @@
 package linpacksim
 
 import (
+	"fmt"
+
 	"tianhe/internal/adaptive"
 	"tianhe/internal/element"
 	"tianhe/internal/hpl"
 	"tianhe/internal/hybrid"
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // PanelRateGFLOPS is the effective rate of the recursive panel factorization
@@ -49,6 +52,10 @@ type Config struct {
 	PageableLibrary bool
 	// GPUModel optionally overrides the GPU rate model (e.g. down-clocked).
 	GPUModel perfmodel.GPU
+	// Telemetry receives the run's probes: the hybrid runner's counters,
+	// the adaptive partitioner's GSplit/CSplit series, and live span traces
+	// of every element resource. Nil disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 // Result reports one simulated run.
@@ -99,7 +106,12 @@ func Run(cfg Config) Result {
 	if cfg.Variant.Adaptive() && part == nil {
 		part = adaptive.NewAdaptive(64, hpl.LinpackFlops(cfg.N), el.InitialGSplit(), el.CPU.NumCores())
 	}
+	part = adaptive.Instrument(part, cfg.Telemetry)
 	runner := hybrid.New(el, cfg.Variant, part)
+	if cfg.Telemetry.Enabled() {
+		runner.Instrument(cfg.Telemetry)
+		el.Instrument(cfg.Telemetry, fmt.Sprintf("%s.N%d", cfg.Variant, cfg.N))
+	}
 
 	var t sim.Time
 	iters := 0

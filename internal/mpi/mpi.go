@@ -14,6 +14,7 @@ import (
 
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // message is one in-flight transfer.
@@ -28,10 +29,43 @@ type World struct {
 	size            int
 	net             perfmodel.Network
 	ranksPerCabinet int
+	probes          *worldProbes // nil when telemetry is disabled
 
 	mu     sync.Mutex
 	queues map[int]*rankQueue // keyed by destination rank
 	comms  []*Comm
+}
+
+// worldProbes holds the communicator-wide metric handles: message counts,
+// byte volumes, receive-side wait time, and the payload-size distribution.
+// All ranks share them (atomics), so the per-message cost is a few atomic
+// adds.
+type worldProbes struct {
+	msgs, recvs *telemetry.Counter
+	bytes       *telemetry.Counter
+	waitSec     *telemetry.Gauge // accumulated receive wait, virtual seconds
+	sizes       *telemetry.Histogram
+	tracer      *telemetry.Tracer
+}
+
+// msgSizeBuckets grade payload bytes from latency-bound to bandwidth-bound.
+var msgSizeBuckets = []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+func newWorldProbes(tel *telemetry.Telemetry, label string) *worldProbes {
+	if !tel.Enabled() {
+		return nil
+	}
+	if label == "" {
+		label = "mpi"
+	}
+	return &worldProbes{
+		msgs:    tel.Counter(label + ".msgs_sent"),
+		recvs:   tel.Counter(label + ".msgs_recv"),
+		bytes:   tel.Counter(label + ".bytes_sent"),
+		waitSec: tel.Gauge(label + ".recv_wait_seconds"),
+		sizes:   tel.Histogram(label+".msg_bytes", msgSizeBuckets),
+		tracer:  tel.Trace,
+	}
 }
 
 // rankQueue buffers undelivered messages for one destination.
@@ -51,6 +85,13 @@ type Config struct {
 	// RanksPerCabinet controls when messages pay the second-level-switch
 	// hop; 0 means a single cabinet (never).
 	RanksPerCabinet int
+	// Telemetry receives the communicator's probes (message counts, bytes,
+	// receive wait time, size distribution) and per-rank send spans in the
+	// trace. Nil disables instrumentation.
+	Telemetry *telemetry.Telemetry
+	// Label prefixes the communicator's metric names, so several worlds in
+	// one process stay distinguishable; empty selects "mpi".
+	Label string
 }
 
 // NewWorld builds a communicator universe.
@@ -65,13 +106,22 @@ func NewWorld(cfg Config) *World {
 		size:            cfg.Size,
 		net:             cfg.Network,
 		ranksPerCabinet: cfg.RanksPerCabinet,
+		probes:          newWorldProbes(cfg.Telemetry, cfg.Label),
 		queues:          make(map[int]*rankQueue, cfg.Size),
+	}
+	label := cfg.Label
+	if label == "" {
+		label = "mpi"
 	}
 	for r := 0; r < cfg.Size; r++ {
 		q := &rankQueue{}
 		q.cond = sync.NewCond(&q.mu)
 		w.queues[r] = q
-		w.comms = append(w.comms, &Comm{world: w, rank: r, clock: sim.NewClock()})
+		c := &Comm{world: w, rank: r, clock: sim.NewClock()}
+		if w.probes != nil {
+			c.track = fmt.Sprintf("%s.rank%03d", label, r)
+		}
+		w.comms = append(w.comms, c)
 	}
 	return w
 }
@@ -101,6 +151,7 @@ type Comm struct {
 	world *World
 	rank  int
 	clock *sim.Clock
+	track string // trace track name, precomputed when instrumented
 }
 
 // Rank returns this endpoint's rank.
@@ -142,6 +193,12 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	q.pending = append(q.pending, msg)
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	if pr := c.world.probes; pr != nil {
+		pr.msgs.Inc()
+		pr.bytes.Add(bytes)
+		pr.sizes.Observe(float64(bytes))
+		pr.tracer.Span(c.track, "mpi", "send", sendAt, sendAt+dur)
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives, returning
@@ -164,6 +221,14 @@ func (c *Comm) RecvFrom(src, tag int) ([]float64, int) {
 		for i, m := range q.pending {
 			if (src == Any || m.src == src) && m.tag == tag {
 				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				if pr := c.world.probes; pr != nil {
+					pr.recvs.Inc()
+					// Receive-side wait: how long this rank's virtual clock
+					// had to jump forward to meet the message.
+					if wait := m.arrival - c.clock.Now(); wait > 0 {
+						pr.waitSec.Add(wait)
+					}
+				}
 				c.clock.Sync(m.arrival)
 				return m.data, m.src
 			}

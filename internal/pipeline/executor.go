@@ -6,6 +6,7 @@ import (
 	"tianhe/internal/gpu"
 	"tianhe/internal/matrix"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // Options selects which of Section V's techniques the executor applies.
@@ -26,6 +27,12 @@ type Options struct {
 	BlockRows int
 	// Tile overrides the tile extent; zero derives it from the device.
 	Tile int
+	// Telemetry receives the executor's probes: task/byte counters, the
+	// CB0/CB1 double-buffer occupancy spans of the blocked EO stage, and the
+	// input-hidden-fraction histogram measuring how much of each task's
+	// transfers the CT/NT overlap buried under the previous kernel. Nil (the
+	// default) disables instrumentation at zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // Pipelined returns the full Section V configuration.
@@ -70,13 +77,42 @@ func (r Report) GFLOPS() float64 {
 
 // Executor runs task queues on one device.
 type Executor struct {
-	dev  *gpu.Device
-	opts Options
+	dev    *gpu.Device
+	opts   Options
+	probes *execProbes // nil when telemetry is disabled
+}
+
+// execProbes holds the executor's metric handles, fetched once at
+// construction so the per-task path is atomic updates only.
+type execProbes struct {
+	tasks, bytesIn, bytesOut, bytesSkipped, eoBlocks *telemetry.Counter
+	hiddenFrac                                       *telemetry.Histogram
+	hiddenGauge                                      *telemetry.Gauge
+	tracer                                           *telemetry.Tracer
+}
+
+// fractionBuckets are the histogram bounds for ratio-valued metrics.
+var fractionBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+func newExecProbes(tel *telemetry.Telemetry) *execProbes {
+	if !tel.Enabled() {
+		return nil
+	}
+	return &execProbes{
+		tasks:        tel.Counter("pipeline.tasks"),
+		bytesIn:      tel.Counter("pipeline.bytes_in"),
+		bytesOut:     tel.Counter("pipeline.bytes_out"),
+		bytesSkipped: tel.Counter("pipeline.bytes_skipped"),
+		eoBlocks:     tel.Counter("pipeline.eo_blocks"),
+		hiddenFrac:   tel.Histogram("pipeline.input_hidden_frac", fractionBuckets),
+		hiddenGauge:  tel.Gauge("pipeline.input_hidden_frac.last"),
+		tracer:       tel.Trace,
+	}
 }
 
 // NewExecutor builds an executor over the device.
 func NewExecutor(dev *gpu.Device, opts Options) *Executor {
-	return &Executor{dev: dev, opts: opts.withDefaults(dev)}
+	return &Executor{dev: dev, opts: opts.withDefaults(dev), probes: newExecProbes(opts.Telemetry)}
 }
 
 // Options returns the executor's resolved options.
@@ -94,6 +130,28 @@ type residentTile struct {
 func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix.Dense, earliest sim.Time) Report {
 	rep := Report{Flops: p.TotalFlops(), Tasks: len(p.Tasks), Start: earliest}
 	virtual := hostC == nil
+
+	// Telemetry accumulators: taskIn tracks the interval covered by the
+	// current task's fresh transfers, so the CT/NT overlap efficiency (how
+	// much input hid under the previous kernel) can be measured per task.
+	pr := e.probes
+	var taskIn sim.Span
+	taskInSet := false
+	noteInput := func(sp sim.Span) {
+		if pr == nil {
+			return
+		}
+		if !taskInSet {
+			taskIn, taskInSet = sp, true
+			return
+		}
+		if sp.Start < taskIn.Start {
+			taskIn.Start = sp.Start
+		}
+		if sp.End > taskIn.End {
+			taskIn.End = sp.End
+		}
+	}
 
 	resident := make(map[TileID]*residentTile)
 	lruTick := 0
@@ -186,6 +244,7 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		resident[id] = &residentTile{buf: buf, bytes: bytes, sp: sp, lru: lruTick}
 		memInUse += bytes
 		rep.BytesIn += bytes
+		noteInput(sp)
 		return buf, sp
 	}
 
@@ -218,9 +277,23 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 					bb = job.cBytes - int64(blocks-1)*blockBytes
 				}
 				lastOut = e.dev.DownloadBytes(bb, ready)
+				if pr != nil {
+					// Blocks alternate through the CB0/CB1 double buffers;
+					// their trace tracks show the streamed-output occupancy.
+					track := "pipeline.cb0"
+					if b%2 == 1 {
+						track = "pipeline.cb1"
+					}
+					pr.eoBlocks.Inc()
+					pr.tracer.Span(track, "eo-block", job.task.Name, lastOut.Start, lastOut.End)
+				}
 			}
 		} else {
 			lastOut = e.dev.DownloadBytes(job.cBytes, job.kernel.End)
+			if pr != nil {
+				pr.eoBlocks.Inc()
+				pr.tracer.Span("pipeline.out", "output", job.task.Name, lastOut.Start, lastOut.End)
+			}
 		}
 		rep.BytesOut += job.cBytes
 		if !virtual {
@@ -246,8 +319,11 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 	prevEOStart := earliest
 	prevTaskEnd := earliest
 	var deferred *outputJob
+	var prevEO sim.Span // the previous task's full EO stage [eoStart, kernel.End]
+	prevEOSet := false
 
 	for _, task := range p.Tasks {
+		taskInSet = false
 		var inputEarliest sim.Time
 		if e.opts.OverlapInput {
 			inputEarliest = prevEOStart
@@ -281,6 +357,7 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 				cIn = e.dev.Upload(src, cBuf, inputEarliest)
 			}
 			rep.BytesIn += cBytes
+			noteInput(cIn)
 		} else if !virtual {
 			var err error
 			cBuf, err = e.dev.Alloc(task.M, task.N)
@@ -325,6 +402,38 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 			}
 		}
 
+		if pr != nil {
+			// CT-object trace: the task's fresh-input interval and its EO
+			// stage, plus the fraction of the input the CT/NT overlap hid
+			// under the previous task's EO stage (1.0 = fully hidden, the
+			// Section V goal for steady-state tasks).
+			if taskInSet {
+				pr.tracer.Span("pipeline.input", "input", task.Name, taskIn.Start, taskIn.End)
+				if prevEOSet {
+					lo, hi := taskIn.Start, taskIn.End
+					if prevEO.Start > lo {
+						lo = prevEO.Start
+					}
+					if prevEO.End < hi {
+						hi = prevEO.End
+					}
+					if dur := taskIn.Duration(); dur > 0 {
+						frac := (hi - lo) / dur
+						if frac < 0 {
+							frac = 0
+						}
+						if frac > 1 {
+							frac = 1
+						}
+						pr.hiddenFrac.Observe(frac)
+						pr.hiddenGauge.Set(frac)
+					}
+				}
+			}
+			pr.tracer.Span("pipeline.eo", "eo", task.Name, eoStart, kernel.End)
+		}
+		prevEO, prevEOSet = sim.Span{Start: eoStart, End: kernel.End}, true
+
 		// OUTPUT: deferred so the next task's inputs can be booked first in
 		// overlap mode (the single transfer thread serves N-INPUT before the
 		// bulk of the EO downloads).
@@ -349,6 +458,12 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		for _, rt := range resident {
 			rt.buf.Free()
 		}
+	}
+	if pr != nil {
+		pr.tasks.Add(int64(rep.Tasks))
+		pr.bytesIn.Add(rep.BytesIn)
+		pr.bytesOut.Add(rep.BytesOut)
+		pr.bytesSkipped.Add(rep.BytesSkipped)
 	}
 	return rep
 }

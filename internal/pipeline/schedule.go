@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+
+	"tianhe/internal/telemetry"
 )
 
 // CTState enumerates the Current-Task controller states of Section V.C.
@@ -127,6 +129,50 @@ func FormatSchedule(rows []StepRow) string {
 			r.Time, cells["Idle"], cells["Input"], cells["EO"], cells["N-Idle"], cells["N-Input"])
 	}
 	return b.String()
+}
+
+// TraceSchedule emits the CT/NT state machine's schedule as telemetry span
+// events: tracks "CT" and "NT", one span per maximal run of consecutive unit
+// steps in which an object holds the same task in the same state, the task
+// name as the span name and the state as its category. Exporting the result
+// with WriteJSON yields Table I as a Chrome trace-event file ("the pipeline
+// shifted in time", viewable in Perfetto); timestamps are the unit-step
+// virtual times.
+func TraceSchedule(tr *telemetry.Tracer, rows []StepRow) {
+	if tr == nil {
+		return
+	}
+	type cell struct {
+		task, state string
+	}
+	ct := func(r StepRow) cell { return cell{r.CTTask, r.CTState.String()} }
+	nt := func(r StepRow) cell {
+		if r.NTTask == "" {
+			return cell{}
+		}
+		return cell{r.NTTask, r.NTState.String()}
+	}
+	emitRuns := func(track string, at func(StepRow) cell) {
+		var cur cell
+		start := 0
+		flush := func(end int) {
+			if cur.task != "" {
+				tr.Span(track, cur.state, cur.task, float64(start), float64(end))
+			}
+		}
+		for i, r := range rows {
+			c := at(r)
+			if c != cur {
+				flush(r.Time)
+				cur, start = c, r.Time
+			}
+			if i == len(rows)-1 {
+				flush(r.Time + 1)
+			}
+		}
+	}
+	emitRuns("CT", ct)
+	emitRuns("NT", nt)
 }
 
 // BounceOrderNames returns the task-name sequence of a plan, e.g.

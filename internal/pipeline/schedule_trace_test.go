@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tianhe/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tableITrace builds the Table I trace of the paper's 2x2 task split
+// (Fig. 5, bounce order T0 T1 T3 T2) the same way cmd/pipetrace -trace does.
+func tableITrace(t *testing.T) *telemetry.Tracer {
+	t.Helper()
+	p := NewPlan(2*4096, 2*4096, 4096, 4096, true)
+	names := BounceOrderNames(p)
+	want := []string{"T0", "T1", "T3", "T2"}
+	if len(names) != len(want) {
+		t.Fatalf("2x2 plan has %d tasks, want 4", len(names))
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Fatalf("bounce order = %v, want %v", names, want)
+		}
+	}
+	tel := telemetry.New()
+	TraceSchedule(tel.Tracer(), Schedule(names))
+	return tel.Tracer()
+}
+
+func TestTableITraceGolden(t *testing.T) {
+	tr := tableITrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "tablei_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Table I trace export drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestTableITraceRoundTrip(t *testing.T) {
+	tr := tableITrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	events, err := telemetry.ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("exported Table I trace does not parse back: %v", err)
+	}
+
+	// Every task of the bounce-ordered 2x2 plan must appear as a CT state
+	// span, and every task but the first as an NT prefetch span.
+	type key struct{ track, name string }
+	states := make(map[key][]string)
+	for _, e := range events {
+		if e.Phase != telemetry.PhaseSpan {
+			continue
+		}
+		if e.End <= e.Start {
+			t.Errorf("span %s/%s has non-positive duration [%v,%v]", e.Track, e.Name, e.Start, e.End)
+		}
+		k := key{e.Track, e.Name}
+		states[k] = append(states[k], e.Cat)
+	}
+	for _, task := range []string{"T0", "T1", "T3", "T2"} {
+		ct := states[key{"CT", task}]
+		if len(ct) == 0 {
+			t.Errorf("no CT span for task %s", task)
+		}
+		hasEO := false
+		for _, s := range ct {
+			if s == "EO" {
+				hasEO = true
+			}
+		}
+		if !hasEO {
+			t.Errorf("task %s never reached the CT EO state: %v", task, ct)
+		}
+	}
+	// T0 is the prologue: it must pass through the explicit Input state.
+	hasInput := false
+	for _, s := range states[key{"CT", "T0"}] {
+		if s == "Input" {
+			hasInput = true
+		}
+	}
+	if !hasInput {
+		t.Error("prologue task T0 has no CT Input span")
+	}
+	for _, task := range []string{"T1", "T3", "T2"} {
+		nt := states[key{"NT", task}]
+		hasNInput := false
+		for _, s := range nt {
+			if s == "N-Input" {
+				hasNInput = true
+			}
+		}
+		if !hasNInput {
+			t.Errorf("task %s was never prefetched under NT N-Input: %v", task, nt)
+		}
+	}
+}

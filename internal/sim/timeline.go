@@ -31,11 +31,13 @@ func (s Span) String() string {
 // dependencies have finished. Overlap between *different* timelines is what
 // produces pipelining in this simulator.
 type Timeline struct {
-	mu     sync.Mutex
-	name   string
-	avail  Time
-	spans  []Span
-	record bool
+	mu       sync.Mutex
+	name     string
+	avail    Time
+	busy     Time
+	spans    []Span
+	record   bool
+	observer func(Span)
 }
 
 // NewTimeline returns an empty resource timeline available at time 0.
@@ -54,6 +56,17 @@ func (t *Timeline) SetRecording(on bool) {
 	t.record = on
 }
 
+// SetObserver installs a callback invoked after every booking with the span
+// it occupied, independent of span retention — the telemetry tracer hooks
+// timelines this way so even retention-free large-scale runs stream their
+// schedule. A nil observer detaches. The callback runs outside the
+// timeline's lock and must not book on the same timeline.
+func (t *Timeline) SetObserver(obs func(Span)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observer = obs
+}
+
 // Available returns the earliest time a new operation could start.
 func (t *Timeline) Available() Time {
 	t.mu.Lock()
@@ -69,15 +82,20 @@ func (t *Timeline) Book(label string, earliest Time, duration Time) Span {
 		panic(fmt.Sprintf("sim: negative duration %v for %q", duration, label))
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	start := t.avail
 	if earliest > start {
 		start = earliest
 	}
 	sp := Span{Label: label, Start: start, End: start + duration}
 	t.avail = sp.End
+	t.busy += duration
 	if t.record {
 		t.spans = append(t.spans, sp)
+	}
+	obs := t.observer
+	t.mu.Unlock()
+	if obs != nil {
+		obs(sp)
 	}
 	return sp
 }
@@ -112,15 +130,13 @@ func (t *Timeline) Spans() []Span {
 	return out
 }
 
-// Busy returns the total booked time (sum of span durations).
+// Busy returns the total booked time (sum of span durations). The
+// accumulator is maintained on every booking, so it stays correct when span
+// retention is off.
 func (t *Timeline) Busy() Time {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var b Time
-	for _, s := range t.spans {
-		b += s.Duration()
-	}
-	return b
+	return t.busy
 }
 
 // Reset clears the timeline back to time zero, dropping recorded spans.
@@ -128,6 +144,7 @@ func (t *Timeline) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.avail = 0
+	t.busy = 0
 	t.spans = nil
 }
 

@@ -3,6 +3,11 @@
 // resource (DMA engine, kernel queue, CPU cores), time flowing rightward,
 // each span drawn as a labelled bar. The pipetrace binary uses it to show
 // how the CT/NT machinery hides transfers behind kernel execution.
+//
+// The renderer consumes telemetry events — the same stream the Chrome
+// trace-event JSON export is built from — so there is a single schedule
+// representation with two renderers (ASCII here, JSON in telemetry).
+// Render remains as a convenience wrapper over recorded timelines.
 package trace
 
 import (
@@ -11,9 +16,10 @@ import (
 	"strings"
 
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
-// Gantt renders the timelines into a fixed-width chart.
+// Gantt renders a schedule into a fixed-width chart.
 type Gantt struct {
 	// Width is the number of character cells the time axis spans (default 96).
 	Width int
@@ -22,39 +28,49 @@ type Gantt struct {
 	MinDuration float64
 }
 
-// row is one resource lane.
-type row struct {
-	name  string
-	spans []sim.Span
+// Render draws the chart for the given timelines' recorded spans.
+func (g Gantt) Render(timelines ...*sim.Timeline) string {
+	tracks, events := telemetry.TimelineEvents(timelines...)
+	return g.RenderEvents(tracks, events)
 }
 
-// Render draws the chart for the given timelines.
-func (g Gantt) Render(timelines ...*sim.Timeline) string {
+// RenderEvents draws the chart for a telemetry event stream. tracks fixes
+// the lane order (and keeps lanes for tracks without events); span events on
+// tracks not listed get lanes appended in first-appearance order. Non-span
+// events are ignored.
+func (g Gantt) RenderEvents(tracks []string, events []telemetry.Event) string {
 	width := g.Width
 	if width <= 0 {
 		width = 96
 	}
-	var rows []row
-	var tMin, tMax sim.Time
+	lanes := make(map[string][]telemetry.Event, len(tracks))
+	order := append([]string(nil), tracks...)
+	for _, tr := range tracks {
+		lanes[tr] = nil
+	}
+	var tMin, tMax float64
 	first := true
-	for _, tl := range timelines {
-		spans := tl.Spans()
-		rows = append(rows, row{name: tl.Name(), spans: spans})
-		for _, s := range spans {
-			if first || s.Start < tMin {
-				tMin = s.Start
-			}
-			if first || s.End > tMax {
-				tMax = s.End
-			}
-			first = false
+	for _, e := range events {
+		if e.Phase != telemetry.PhaseSpan {
+			continue
 		}
+		if _, ok := lanes[e.Track]; !ok {
+			order = append(order, e.Track)
+		}
+		lanes[e.Track] = append(lanes[e.Track], e)
+		if first || e.Start < tMin {
+			tMin = e.Start
+		}
+		if first || e.End > tMax {
+			tMax = e.End
+		}
+		first = false
 	}
 	if first || tMax == tMin {
 		return "(no spans)\n"
 	}
 	scale := float64(width) / (tMax - tMin)
-	cell := func(t sim.Time) int {
+	cell := func(t float64) int {
 		c := int((t - tMin) * scale)
 		if c >= width {
 			c = width - 1
@@ -66,43 +82,44 @@ func (g Gantt) Render(timelines ...*sim.Timeline) string {
 	}
 
 	nameW := 4
-	for _, r := range rows {
-		if len(r.name) > nameW {
-			nameW = len(r.name)
+	for _, name := range order {
+		if len(name) > nameW {
+			nameW = len(name)
 		}
 	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%*s |%s|\n", nameW, "time", axis(width, tMin, tMax))
-	for _, r := range rows {
+	for _, name := range order {
 		lane := make([]byte, width)
 		for i := range lane {
 			lane[i] = ' '
 		}
-		sort.Slice(r.spans, func(i, j int) bool { return r.spans[i].Start < r.spans[j].Start })
-		for _, s := range r.spans {
+		spans := lanes[name]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
 			c0, c1 := cell(s.Start), cell(s.End)
 			if c1 <= c0 {
 				c1 = c0 + 1
 			}
-			fill := glyphFor(s.Label)
+			fill := glyphFor(s.Name)
 			for c := c0; c < c1 && c < width; c++ {
 				lane[c] = fill
 			}
 			// Place the label's first letter at the bar start when it fits.
 			if g.MinDuration <= 0 || s.Duration() >= g.MinDuration*(tMax-tMin) {
-				if c0 < width && len(s.Label) > 0 {
-					lane[c0] = s.Label[0] &^ 0x20 // uppercase marker
+				if c0 < width && len(s.Name) > 0 {
+					lane[c0] = s.Name[0] &^ 0x20 // uppercase marker
 				}
 			}
 		}
-		fmt.Fprintf(&b, "%*s |%s|\n", nameW, r.name, lane)
+		fmt.Fprintf(&b, "%*s |%s|\n", nameW, name, lane)
 	}
 	fmt.Fprintf(&b, "%*s  legend: U=up-transfer  D=down-transfer  G=gemm kernel; lowercase fills continue the bar\n", nameW, "")
 	return b.String()
 }
 
-// glyphFor picks the fill character of a span from its label.
+// glyphFor picks the fill character of a span from its name.
 func glyphFor(label string) byte {
 	switch {
 	case strings.HasPrefix(label, "up"):
@@ -116,7 +133,7 @@ func glyphFor(label string) byte {
 }
 
 // axis renders the header ruler with the time range.
-func axis(width int, tMin, tMax sim.Time) string {
+func axis(width int, tMin, tMax float64) string {
 	left := fmt.Sprintf("%.3fs", tMin)
 	right := fmt.Sprintf("%.3fs", tMax)
 	if len(left)+len(right)+2 >= width {

@@ -1,0 +1,11 @@
+#!/bin/sh
+# check.sh — the full local verification suite: build everything, vet
+# everything, and run every test under the race detector. CI and `make check`
+# both run exactly this.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

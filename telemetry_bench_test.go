@@ -1,0 +1,69 @@
+package tianhe_test
+
+// BenchmarkTelemetryOverhead measures what the telemetry subsystem costs on
+// the Figure 8 hybrid-DGEMM path. The three sub-benchmarks run the identical
+// simulated workload: Baseline never touches telemetry (the uninstrumented
+// seed path), Disabled routes through the instrumentation seams with the nil
+// bundle (what every production caller pays when -trace/-metrics are off),
+// and Enabled records everything. Disabled must stay within noise (<5%) of
+// Baseline — the nil-bundle hot path is one pointer check.
+
+import (
+	"testing"
+
+	"tianhe"
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/experiments"
+	"tianhe/internal/hybrid"
+	"tianhe/internal/telemetry"
+)
+
+// fig8Workload runs the Figure 8 inner loop — three hybrid DGEMMs at
+// N = 12288 on a fresh ACMLG+both element — with the given bundle. A nil
+// bundle exercises the disabled path; telemetry.New() the enabled one.
+func fig8Workload(tel *telemetry.Telemetry) float64 {
+	el := element.New(element.Config{Seed: experiments.DefaultSeed, Virtual: true})
+	work := 2.0 * 12288 * 12288 * 12288
+	var part adaptive.Partitioner = adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
+	part = adaptive.Instrument(part, tel)
+	run := hybrid.New(el, element.ACMLGBoth, part)
+	if tel.Enabled() {
+		run.Instrument(tel)
+		el.Instrument(tel, "bench")
+	}
+	var g float64
+	for j := 0; j < 3; j++ {
+		g = run.GemmVirtual(12288, 12288, 12288, 1, el.Now()).GFLOPS()
+	}
+	return g
+}
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		// The seed path: no instrumentation seams at all.
+		var last float64
+		for i := 0; i < b.N; i++ {
+			el := tianhe.NewElement(tianhe.ElementConfig{Seed: experiments.DefaultSeed, Virtual: true})
+			run := tianhe.NewRunnerWithCapacity(el, tianhe.ACMLGBoth, 2.0*12288*12288*12288)
+			for j := 0; j < 3; j++ {
+				last = run.GemmVirtual(12288, 12288, 12288, 1, el.Now()).GFLOPS()
+			}
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+	b.Run("Disabled", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last = fig8Workload(telemetry.Disabled())
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last = fig8Workload(telemetry.New())
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+}
