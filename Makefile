@@ -1,8 +1,9 @@
 # Development targets. `make check` is the gate every change must pass:
-# it builds all packages, vets them, and runs the full test suite under the
-# race detector.
+# it builds all packages, vets them, runs the tianhelint static analyzer
+# suite, and runs the full test suite (under the race detector where the
+# toolchain has cgo).
 
-.PHONY: check build test vet bench
+.PHONY: check build test vet lint fuzz bench
 
 check:
 	./scripts/check.sh
@@ -13,8 +14,19 @@ build:
 vet:
 	go vet ./...
 
+# lint runs the repository's custom invariant analyzers (see
+# internal/analyzers and the README "Static analysis" section).
+lint:
+	go run ./cmd/tianhelint
+
 test:
 	go test ./...
+
+# fuzz gives each native fuzz target a short fixed budget on top of its
+# checked-in seed corpus. New crashers land in testdata/fuzz/ — commit them.
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzDGEMMPackedVsNaive$$' -fuzztime 10s ./internal/blas
+	go test -run '^$$' -fuzz '^FuzzScheduleInvariants$$' -fuzztime 10s ./internal/pipeline
 
 bench:
 	go test -run xxx -bench . -benchtime 10x .

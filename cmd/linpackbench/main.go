@@ -144,7 +144,8 @@ func fig10(seed uint64, n int, tel *telemetry.Telemetry) {
 
 	// The evolution view of Fig. 10: the per-update GSplit time series, read
 	// back from the telemetry tracer the adaptive decorator streamed into.
-	series := tel.Trace.Series("adaptive.gsplit")
+	// Tracer() tolerates a nil bundle, so fig10 stays callable uninstrumented.
+	series := tel.Tracer().Series("adaptive.gsplit")
 	if len(series) == 0 {
 		return
 	}

@@ -1,0 +1,129 @@
+// Command tianhelint runs the repository's custom static analyzer suite
+// (internal/analyzers) over every non-test package in the module and
+// reports violations of the simulator's determinism, telemetry, and
+// numerics invariants with file:line:col positions. It exits 1 when any
+// finding survives lint:ignore suppression, 2 on load errors, 0 on a
+// clean tree — `make lint` and scripts/check.sh gate on exactly this.
+//
+// Usage:
+//
+//	tianhelint [-json] [-checks nowalltime,floateq,...] [-list]
+//
+// Findings can be suppressed per site with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tianhe/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func run(stdout, stderr *os.File, args []string) int {
+	fs := flag.NewFlagSet("tianhelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	checks := analyzers.All()
+	if *checksFlag != "" {
+		checks = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			a := analyzers.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "tianhelint: unknown check %q (try -list)\n", name)
+				return 2
+			}
+			checks = append(checks, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
+		return 2
+	}
+	root, err := analyzers.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
+		return 2
+	}
+	loader, err := analyzers.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
+		return 2
+	}
+
+	findings := analyzers.Run(loader.Fset(), pkgs, checks)
+
+	rel := func(path string) string {
+		if r, err := filepath.Rel(root, path); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return path
+	}
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: rel(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
+				Check: f.Check, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "tianhelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n",
+				rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Check)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "tianhelint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

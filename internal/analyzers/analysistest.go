@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads testdata/src/<fixture> as one package, runs the
+// analyzer over it (including lint:ignore suppression, so fixtures can
+// exercise directives), and diffs the findings against `// want "regexp"`
+// expectation comments — the x/tools analysistest contract, minus the
+// dependency. A want comment expects one finding on its own line per
+// quoted regexp; findings with no matching want, and wants with no
+// matching finding, fail the test.
+func RunFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "analyzers", "testdata", "src", fixture)
+	pkg, err := l.LoadDir(dir, "tianhelint.test/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	findings := Run(l.Fset(), []*Package{pkg}, []*Analyzer{a})
+	wants := collectWants(t, l.Fset(), pkg)
+
+	for _, f := range findings {
+		key := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(f.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s [%s]", posString(f.Pos), f.Message, f.Check)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if w != nil {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants extracts `// want "..." "..."` expectations from the
+// fixture's comments, keyed by (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, lit := range wantArgRE.FindAllString(c.Text[idx+len("// want "):], -1) {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", posString(pos), lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posString(pos), s, err)
+					}
+					out[key] = append(out[key], re)
+				}
+			}
+		}
+	}
+	return out
+}

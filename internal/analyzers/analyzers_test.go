@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestNoWallTime(t *testing.T)   { RunFixture(t, NoWallTime, "nowalltime") }
+func TestNoGlobalRand(t *testing.T) { RunFixture(t, NoGlobalRand, "noglobalrand") }
+func TestTelemetryNil(t *testing.T) { RunFixture(t, TelemetryNil, "telemetrynil") }
+func TestFloatEq(t *testing.T)      { RunFixture(t, FloatEq, "floateq") }
+func TestMapIterOrder(t *testing.T) { RunFixture(t, MapIterOrder, "mapiterorder") }
+func TestMutexCopy(t *testing.T)    { RunFixture(t, MutexCopy, "mutexcopy") }
+
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "floateq", "mapiterorder", "mutexcopy"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: missing Doc or Run", a.Name)
+		}
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%s) did not return the suite analyzer", a.Name)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown name should return nil")
+	}
+}
+
+// TestMalformedDirectives checks that lint:ignore directives missing a
+// reason or check name are reported and suppress nothing: the fixture's
+// time.Now calls must still be flagged.
+func TestMalformedDirectives(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analyzers", "testdata", "src", "lintdirective")
+	pkg, err := l.LoadDir(dir, "tianhelint.test/lintdirective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(l.Fset(), []*Package{pkg}, []*Analyzer{NoWallTime})
+	var directives, wallTime int
+	for _, f := range findings {
+		switch f.Check {
+		case "lintdirective":
+			directives++
+		case "nowalltime":
+			wallTime++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if directives != 2 {
+		t.Errorf("got %d lintdirective findings, want 2", directives)
+	}
+	if wallTime != 2 {
+		t.Errorf("got %d nowalltime findings, want 2 (malformed directives must not suppress)", wallTime)
+	}
+}

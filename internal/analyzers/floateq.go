@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. Exact float equality silently diverges across compilers,
+// optimization levels, and evaluation orders, which breaks golden-trace
+// comparability. Two idioms stay legal: comparison against a constant 0 or
+// 1 (the additive/multiplicative identities, used as sentinels throughout
+// the split-update and BLAS alpha/beta paths — any other constant, e.g. a
+// learned split value, stays flagged) and the self-comparison x != x NaN
+// test.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between float operands outside _test.go files (0/1 " +
+		"sentinels and x != x NaN tests excepted); use an explicit tolerance " +
+		"or bit-pattern comparison instead",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, bin.X) || !isFloat(pass.TypesInfo, bin.Y) {
+				return true
+			}
+			if isSentinelConst(pass.TypesInfo, bin.X) || isSentinelConst(pass.TypesInfo, bin.Y) {
+				return true
+			}
+			if isSelfCompare(pass.TypesInfo, bin.X, bin.Y) {
+				return true // the x != x NaN test
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or compare bit patterns", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isSentinelConst reports whether e is a compile-time constant equal to 0
+// or 1 — the identity-value sentinels (covers 0, 0.0, -0.0, 1, 1.0, and
+// named constants with those values). Any other constant is a numeric
+// comparison and stays flagged.
+func isSentinelConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Sign(v) == 0 || constant.Compare(v, token.EQL, constant.MakeFloat64(1))
+}
+
+// isSelfCompare reports whether both operands are the same identifier, the
+// conventional NaN test.
+func isSelfCompare(info *types.Info, x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	ox, oy := info.Uses[xi], info.Uses[yi]
+	return ox != nil && ox == oy
+}

@@ -1,0 +1,151 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterOrder flags `range` loops over maps whose bodies feed
+// order-sensitive sinks: appending to a slice, fmt printing, or writing
+// telemetry. Map iteration order is deliberately randomized by the
+// runtime, so any of these leaks nondeterminism straight into golden trace
+// files and metric dumps. The one exempt idiom is collect-then-sort: a
+// loop that only appends keys to a slice which the same function later
+// passes to a sort call is deterministic and stays legal.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag map range loops that append to slices, print via fmt, or " +
+		"write telemetry — iteration order leaks into golden output; iterate " +
+		"over sorted keys instead (append-then-sort in the same function is " +
+		"recognized and allowed)",
+	Run: runMapIterOrder,
+}
+
+func runMapIterOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges examines every map-range loop inside one function body.
+// sortedObjs is the set of slice variables the function passes to a sort
+// call anywhere — appends into those are the legal collect-then-sort idiom.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	sorted := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // handled by its own enclosing-function pass
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if sink := orderSink(pass, rng.Body, sorted); sink != "" {
+			pass.Reportf(rng.Pos(),
+				"map iteration feeds %s: runtime map order leaks into the output; iterate over sorted keys", sink)
+		}
+		return true
+	})
+}
+
+// sortedSlices collects the objects of slice variables passed to
+// sort.Strings / sort.Ints / sort.Float64s / sort.Slice / sort.SliceStable
+// / slices.Sort* anywhere in the function.
+func sortedSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		_, isSort := pkgFunc(pass.TypesInfo, call.Fun, "sort")
+		_, isSlices := pkgFunc(pass.TypesInfo, call.Fun, "slices")
+		if !isSort && !isSlices {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderSink reports the first order-sensitive sink in a map-range body, or
+// "" when the body is order-safe.
+func orderSink(pass *Pass, body *ast.BlockStmt, sorted map[types.Object]bool) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) — unordered unless dst is sorted afterwards.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[dst]; obj != nil && sorted[obj] {
+						return true
+					}
+				}
+				sink = "an append (slice order will follow map order)"
+				return false
+			}
+		}
+		if name, ok := pkgFunc(pass.TypesInfo, call.Fun, "fmt"); ok {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				sink = "fmt." + name
+				return false
+			}
+		}
+		if isTelemetryWrite(pass.TypesInfo, call) {
+			sink = "a telemetry write (event order will follow map order)"
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+// isTelemetryWrite reports whether call invokes a method on a
+// tianhe/internal/telemetry type (Tracer span/sample recording, metric
+// updates, bundle accessors).
+func isTelemetryWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	pkg := s.Obj().Pkg()
+	return pkg != nil && pkg.Path() == telemetryPkgPath
+}

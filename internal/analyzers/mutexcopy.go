@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags function parameters and receivers that take, by value, a
+// type containing sync or sync/atomic state. Copying such a value forks
+// the lock or the atomic cell: the copy guards nothing, which is exactly
+// the class of bug the telemetry registry's pointer-only discipline
+// exists to prevent. (go vet's copylocks catches assignments; this check
+// closes the signature-level hole for atomics too.)
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc: "flag by-value parameters and receivers of types containing " +
+		"sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool or sync/atomic " +
+		"values: copies fork the lock state; pass a pointer",
+	Run: runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn.Recv != nil {
+				for _, field := range fn.Recv.List {
+					checkByValue(pass, field, "receiver")
+				}
+			}
+			if fn.Type.Params != nil {
+				for _, field := range fn.Type.Params.List {
+					checkByValue(pass, field, "parameter")
+				}
+			}
+		}
+	}
+}
+
+func checkByValue(pass *Pass, field *ast.Field, kind string) {
+	t := pass.TypesInfo.TypeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if path := lockPath(t, nil); path != "" {
+		pass.Reportf(field.Type.Pos(),
+			"%s passes %s by value; it contains %s — pass a pointer so the lock/atomic state is shared", kind, t, path)
+	}
+}
+
+// lockPath returns a human-readable path to the first lock-bearing
+// component reachable by value inside t (empty when none). seen guards
+// against recursive types.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if _, isIface := named.Underlying().(*types.Interface); !isIface {
+					return "sync." + obj.Name()
+				}
+				return ""
+			case "sync/atomic":
+				return "sync/atomic." + obj.Name()
+			}
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return f.Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "[...]" + p
+		}
+	}
+	// Pointers, slices, maps, channels, and interfaces share the
+	// underlying state rather than copying it.
+	return ""
+}

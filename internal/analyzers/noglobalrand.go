@@ -1,0 +1,55 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NoGlobalRand forbids math/rand (v1 and v2) in non-test code: the
+// simulator's randomness must come from named, seeded sim.RNG streams so
+// that adding a consumer never perturbs existing experiments.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid math/rand and math/rand/v2 outside _test.go files: all " +
+		"randomness must come from sim.NewStream(seed, name) so streams stay " +
+		"independent and every experiment regenerates from its seed",
+	Run: runNoGlobalRand,
+}
+
+var randPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runNoGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Blank and dot imports never show up as qualified uses; flag the
+		// import spec itself.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randPaths[path] {
+				continue
+			}
+			if imp.Name != nil && (imp.Name.Name == "_" || imp.Name.Name == ".") {
+				pass.Reportf(imp.Pos(),
+					"import of %s: global randomness breaks seed reproducibility; use sim.RNG streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for path := range randPaths {
+				if name, ok := pkgFunc(pass.TypesInfo, sel, path); ok {
+					pass.Reportf(sel.Pos(),
+						"%s.%s: global randomness breaks seed reproducibility; use a named sim.RNG stream", path, name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time entry points that read or wait on the
+// wall clock. Types (time.Duration, time.Time) and pure conversions stay
+// legal: only these make a run's behavior depend on the host machine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallTime forbids wall-clock time in non-test simulator code.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid time.Now/time.Since/time.Sleep and friends outside _test.go " +
+		"files: every timestamp and delay in the simulator must flow through " +
+		"the virtual sim.Clock so runs regenerate bit-identically on any host",
+	Run: runNoWallTime,
+}
+
+func runNoWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFunc(pass.TypesInfo, sel, "time")
+			if !ok || !wallClockFuncs[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulator timing must come from sim.Clock virtual time", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,54 @@
+// Package floateq is a tianhelint fixture: exact float equality is
+// forbidden; zero sentinels, NaN self-tests, and integer equality are fine.
+package floateq
+
+type split float64
+
+func bad(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func badNamedType(a, b split) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func zeroSentinelIsFine(a float64) bool {
+	return a == 0 || a != 0.0
+}
+
+func identitySentinelIsFine(beta float64) bool {
+	return beta != 1 // the BLAS "skip scaling" sentinel
+}
+
+func otherConstantsAreFlagged(split float64) bool {
+	return split == 0.889 // want "floating-point == comparison"
+}
+
+func nanSelfTestIsFine(a float64) bool {
+	return a != a
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func toleranceIsFine(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates a justified suppression
+	return a == b
+}

@@ -1,0 +1,16 @@
+// Package lintdirective is a tianhelint fixture: lint:ignore directives
+// missing a reason (or a check name) are malformed — they suppress nothing
+// and are themselves reported, so a typo cannot silently disable a check.
+package lintdirective
+
+import "time"
+
+func missingReason() time.Time {
+	//lint:ignore nowalltime
+	return time.Now()
+}
+
+func missingEverything() time.Time {
+	//lint:ignore
+	return time.Now()
+}

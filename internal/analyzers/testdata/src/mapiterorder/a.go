@@ -1,0 +1,61 @@
+// Package mapiterorder is a tianhelint fixture: map iteration feeding
+// ordered sinks (append, fmt printing, telemetry writes) is forbidden;
+// the collect-then-sort idiom and order-insensitive bodies are fine.
+package mapiterorder
+
+import (
+	"fmt"
+	"sort"
+
+	"tianhe/internal/telemetry"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want "map iteration feeds fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration feeds an append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badTelemetry(m map[string]float64, tr *telemetry.Tracer) {
+	for k, v := range m { // want "map iteration feeds a telemetry write"
+		tr.Sample(k, 0, v)
+	}
+}
+
+func collectThenSortIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func accumulationIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRangeIsFine(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+
+func suppressed(m map[string]int) {
+	//lint:ignore mapiterorder fixture demonstrates a justified suppression
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,60 @@
+// Package mutexcopy is a tianhelint fixture: passing lock- or
+// atomic-bearing types by value is forbidden; pointers and lock-free
+// values are fine.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type counters struct {
+	hits atomic.Int64
+}
+
+type nested struct {
+	inner guarded
+}
+
+type lockFree struct {
+	a, b float64
+}
+
+func badParam(g guarded) int { // want "parameter passes .* by value; it contains mu.sync.Mutex"
+	return g.n
+}
+
+func badAtomic(c counters) int64 { // want "parameter passes .* by value; it contains hits.sync/atomic.Int64"
+	return c.hits.Load()
+}
+
+func badNested(n nested) int { // want "parameter passes .* by value; it contains inner.mu.sync.Mutex"
+	return n.inner.n
+}
+
+func (g guarded) badReceiver() int { // want "receiver passes .* by value; it contains mu.sync.Mutex"
+	return g.n
+}
+
+func pointerIsFine(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func sliceIsFine(gs []guarded) int {
+	return len(gs)
+}
+
+func lockFreeIsFine(v lockFree) float64 {
+	return v.a + v.b
+}
+
+func suppressed(g guarded) int { //lint:ignore mutexcopy fixture demonstrates a justified suppression
+	return g.n
+}

@@ -1,0 +1,26 @@
+// Package noglobalrand is a tianhelint fixture: any use of math/rand is
+// forbidden; deterministic arithmetic is fine.
+package noglobalrand
+
+import (
+	"math/rand"
+)
+
+func bad() int {
+	return rand.Intn(10) // want "math/rand.Intn: global randomness"
+}
+
+func badSeeded() float64 {
+	r := rand.New(rand.NewSource(1)) // want "math/rand.New: global randomness" "math/rand.NewSource: global randomness"
+	return r.Float64()
+}
+
+func suppressed() float64 {
+	//lint:ignore noglobalrand fixture demonstrates a justified suppression
+	return rand.Float64()
+}
+
+func deterministicIsFine(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	return state ^ (state >> 31)
+}

@@ -1,0 +1,30 @@
+// Package nowalltime is a tianhelint fixture: wall-clock reads are
+// forbidden; virtual time, time.Duration arithmetic, and suppressed sites
+// are fine.
+package nowalltime
+
+import "time"
+
+const tick = 5 * time.Millisecond // types and constants are fine
+
+func bad() time.Time {
+	time.Sleep(tick)  // want "time.Sleep reads the wall clock"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(tick) // want "time.NewTimer reads the wall clock"
+}
+
+func durationMathIsFine(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func suppressed() time.Time {
+	//lint:ignore nowalltime fixture demonstrates a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,88 @@
+// Package telemetrynil is a tianhelint fixture: struct field reads through
+// a *telemetry.Telemetry parameter must be dominated by a nil check; the
+// bundle's nil-safe methods are always fine.
+package telemetrynil
+
+import "tianhe/internal/telemetry"
+
+func unguarded(tel *telemetry.Telemetry) {
+	_ = tel.Metrics // want "field tel.Metrics read .* without a dominating nil check"
+}
+
+func unguardedInCall(tel *telemetry.Telemetry) int {
+	return tel.Trace.Len() // want "field tel.Trace read .* without a dominating nil check"
+}
+
+func methodsAreFine(tel *telemetry.Telemetry) {
+	tel.Counter("fixture.events").Inc()
+	tel.Gauge("fixture.level").Set(1)
+	if tel.Enabled() {
+		tel.Histogram("fixture.h", []float64{1, 2}).Observe(1.5)
+	}
+}
+
+func guardedByEarlyReturn(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	_ = tel.Metrics
+}
+
+func guardedByEnabled(tel *telemetry.Telemetry) {
+	if !tel.Enabled() {
+		return
+	}
+	_ = tel.Trace
+}
+
+func guardedBranchOnly(tel *telemetry.Telemetry) {
+	if tel != nil {
+		_ = tel.Metrics
+	}
+	_ = tel.Trace // want "field tel.Trace read .* without a dominating nil check"
+}
+
+func orChainGuard(other *int, tel *telemetry.Telemetry) *int {
+	if other == nil || !tel.Enabled() {
+		return other
+	}
+	_ = tel.Trace
+	return other
+}
+
+func shortCircuitOr(tel *telemetry.Telemetry) {
+	if tel == nil || tel.Trace == nil {
+		return
+	}
+	_ = tel.Metrics
+}
+
+func shortCircuitAnd(tel *telemetry.Telemetry) {
+	if tel != nil && tel.Metrics != nil {
+		_ = tel.Trace
+	}
+}
+
+func shortCircuitWrongOrder(tel *telemetry.Telemetry) {
+	if tel.Trace == nil || tel == nil { // want "field tel.Trace read .* without a dominating nil check"
+		return
+	}
+}
+
+func guardHoldsInClosure(tel *telemetry.Telemetry) func() int {
+	if tel == nil {
+		return func() int { return 0 }
+	}
+	return func() int { return tel.Trace.Len() }
+}
+
+func closureUnguarded(tel *telemetry.Telemetry) func() int {
+	return func() int {
+		return tel.Trace.Len() // want "field tel.Trace read .* without a dominating nil check"
+	}
+}
+
+func suppressed(tel *telemetry.Telemetry) {
+	//lint:ignore telemetrynil fixture demonstrates a justified suppression
+	_ = tel.Metrics
+}

@@ -31,6 +31,7 @@ func (s *Series) Add(x, y float64) {
 // Y returns the y value at the given x, or ok=false if absent.
 func (s *Series) Y(x float64) (float64, bool) {
 	for _, p := range s.Points {
+		//lint:ignore floateq X values are discrete problem sizes used as exact keys, never computed
 		if p.X == x {
 			return p.Y, true
 		}

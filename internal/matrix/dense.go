@@ -179,6 +179,7 @@ func (m *Dense) Equal(o *Dense) bool {
 	for j := 0; j < m.Cols; j++ {
 		a, b := m.Col(j), o.Col(j)
 		for i := range a {
+			//lint:ignore floateq bitwise equality is this method's documented contract; MaxDiff is the tolerant comparison
 			if a[i] != b[i] {
 				return false
 			}

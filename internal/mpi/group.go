@@ -56,6 +56,7 @@ func (c *Comm) GroupMaxLoc(members []int, tag int, val float64) (best float64, w
 		for seen < n {
 			data, src := c.RecvFrom(Any, tag)
 			idx := c.indexOf(members, src)
+			//lint:ignore floateq exact-value ties must break on the lowest index (partial-pivoting convention)
 			if data[0] > best || (data[0] == best && idx < winnerIdx) {
 				best, winnerIdx = data[0], idx
 			}

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzScheduleInvariants drives the CT/NT state machine over arbitrary
+// task queues and checks the structural invariants behind Table I:
+//
+//  1. Time advances in unit steps from 0 (the "pipeline shifted in time"
+//     x-axis).
+//  2. The transfer engine is one resource: no step may hold two INPUT
+//     states (CT in Input while NT is in N-Input) at once.
+//  3. CT serves the queue strictly in order, and every task gets at least
+//     one EO step.
+//  4. Only the first task of the queue uses the explicit CT Input
+//     prologue; every later task's transfer happens under NT (an N-Input
+//     step strictly before the task's first EO step).
+func FuzzScheduleInvariants(f *testing.F) {
+	f.Add(0, uint64(0))
+	f.Add(1, uint64(1))
+	f.Add(2, uint64(7))
+	f.Add(4, uint64(42)) // the Table I / Fig. 5 2x2 split shape
+	f.Add(17, uint64(9))
+	f.Fuzz(func(t *testing.T, n int, salt uint64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 256
+		tasks := make([]string, n)
+		for i := range tasks {
+			tasks[i] = fmt.Sprintf("T%d-%x", i, salt&0xff)
+		}
+
+		rows := Schedule(tasks)
+		if n == 0 {
+			if len(rows) != 0 {
+				t.Fatalf("empty queue produced %d rows", len(rows))
+			}
+			return
+		}
+
+		firstEO := make(map[string]int)
+		lastNTInput := make(map[string]int)
+		eoSteps := make(map[string]int)
+		var ctOrder []string
+		for i, r := range rows {
+			if r.Time != i {
+				t.Fatalf("row %d has time %d; schedule must advance in unit steps", i, r.Time)
+			}
+			if r.CTState == CTInput && r.NTState == NTInput && r.NTTask != "" {
+				t.Fatalf("t=%d: CT Input and NT N-Input overlap on the single transfer resource", r.Time)
+			}
+			if r.CTTask == "" {
+				t.Fatalf("t=%d: CT must always hold the queue head", r.Time)
+			}
+			if len(ctOrder) == 0 || ctOrder[len(ctOrder)-1] != r.CTTask {
+				ctOrder = append(ctOrder, r.CTTask)
+			}
+			if r.CTState == CTEO {
+				eoSteps[r.CTTask]++
+				if _, ok := firstEO[r.CTTask]; !ok {
+					firstEO[r.CTTask] = r.Time
+				}
+			}
+			if r.CTState == CTInput && r.CTTask != tasks[0] {
+				t.Fatalf("t=%d: CT Input prologue for %q; only the first task transfers under CT", r.Time, r.CTTask)
+			}
+			if r.NTTask != "" && r.NTState == NTInput {
+				lastNTInput[r.NTTask] = r.Time
+			}
+		}
+
+		if len(ctOrder) != n {
+			t.Fatalf("CT served %d distinct tasks, want %d", len(ctOrder), n)
+		}
+		for i, task := range ctOrder {
+			if task != tasks[i] {
+				t.Fatalf("CT served %q at position %d, want queue order %q", task, i, tasks[i])
+			}
+		}
+		for _, task := range tasks {
+			if eoSteps[task] == 0 {
+				t.Fatalf("task %q never reached EO", task)
+			}
+		}
+		for _, task := range tasks[1:] {
+			in, ok := lastNTInput[task]
+			if !ok {
+				t.Fatalf("task %q has no N-Input transfer before execution", task)
+			}
+			if in >= firstEO[task] {
+				t.Fatalf("task %q enters EO at t=%d but its N-Input runs at t=%d", task, firstEO[task], in)
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floateq exact-timestamp ties must fall through to the deterministic seq tie-breaker
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
 	}

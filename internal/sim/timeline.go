@@ -172,6 +172,7 @@ func MergeSpans(ts ...*Timeline) []Span {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:ignore floateq exact-start ties must fall through to the label tie-breaker for a total order
 		if all[i].Start != all[j].Start {
 			return all[i].Start < all[j].Start
 		}

@@ -1,11 +1,21 @@
 #!/bin/sh
 # check.sh — the full local verification suite: build everything, vet
-# everything, and run every test under the race detector. CI and `make check`
-# both run exactly this.
+# everything, run the tianhelint invariant analyzers, and run every test —
+# under the race detector when the toolchain supports it. CI and
+# `make check` both run exactly this.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test -race ./...
+go run ./cmd/tianhelint
+
+# The race detector needs cgo; fall back to plain tests on toolchains
+# without it (CGO_ENABLED=0 or no C compiler) so check works everywhere.
+if [ "$(go env CGO_ENABLED)" = "1" ]; then
+    go test -race ./...
+else
+    echo "check.sh: CGO_ENABLED=$(go env CGO_ENABLED) — race detector unavailable, running tests without -race" >&2
+    go test ./...
+fi
