@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench
+.PHONY: check build test vet lint fuzz bench faultgolden
 
 check:
 	./scripts/check.sh
@@ -21,6 +21,14 @@ lint:
 
 test:
 	go test ./...
+
+# faultgolden runs the short fault-injection golden runs on their own:
+# the healthy scenario (hook overhead must be exactly zero) and the
+# lost-gpu scenario (adaptive recovers to >=90% of healthy steady state,
+# static/trained stall). They also run as part of `make test`/`make check`;
+# this target surfaces their verdicts verbosely.
+faultgolden:
+	go test -run 'TestHealthyScenarioHasZeroHookOverhead|TestLostGPUAcceptance' -v ./cmd/faultbench
 
 # fuzz gives each native fuzz target a short fixed budget on top of its
 # checked-in seed corpus. New crashers land in testdata/fuzz/ — commit them.

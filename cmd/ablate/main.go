@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,6 +15,9 @@ import (
 )
 
 func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	flag.Parse()
+
 	fmt.Println("Ablation 1 — task ordering (16384x16384x4096 DGEMM, reuse machinery off/on)")
 	gb, sec := experiments.AblationOrdering(16384, 16384, 4096)
 	for i, name := range []string{"row-major, no cache", "bounce corner turn + cache"} {
@@ -26,10 +30,10 @@ func main() {
 	bench.Table(os.Stdout, "H rows", "GFLOPS", experiments.AblationBlockRows(nil))
 
 	fmt.Println("\nAblation 3 — database_g bucket count J (Section IV.B)")
-	bench.Table(os.Stdout, "J buckets", "GFLOPS", experiments.AblationBuckets(nil))
+	bench.Table(os.Stdout, "J buckets", "GFLOPS", experiments.AblationBuckets(nil, *seed))
 
 	fmt.Println("\nAblation 4 — CPU-GPU staging strategy (Section V.A)")
-	st := experiments.AblationStaging()
+	st := experiments.AblationStaging(*seed)
 	for i, label := range experiments.StagingLabels {
 		v, _ := st.Y(float64(i))
 		fmt.Printf("  %-30s %8.1f GFLOPS\n", label, v)
@@ -39,11 +43,11 @@ func main() {
 	bench.Table(os.Stdout, "tile", "GFLOPS", experiments.AblationTile(nil))
 
 	fmt.Println("\nAblation 6 — Linpack blocking factor NB (paper chose 1216)")
-	bench.Table(os.Stdout, "NB", "GFLOPS", experiments.AblationNB(nil))
+	bench.Table(os.Stdout, "NB", "GFLOPS", experiments.AblationNB(nil, *seed))
 
 	fmt.Println("\nAblation 7 — value of the second mapping level (database_c, Section IV.A)")
 	for _, xeon := range []perfmodel.Xeon{perfmodel.XeonE5540, perfmodel.XeonE5450} {
-		r := experiments.Level2Study(xeon, experiments.DefaultSeed)
+		r := experiments.Level2Study(xeon, *seed)
 		fmt.Printf("  %s: equal splits %.4f s, adaptive %.4f s  ->  %+.2f%%  (splits %v)\n",
 			xeon, r.EqualSeconds, r.AdaptiveSeconds, r.Gain*100, fmtSplits(r.Splits))
 	}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"tianhe/internal/experiments"
+	"tianhe/internal/telemetry"
+)
+
+// Short parameters for the CI golden run: healthy vs lost-gpu.
+const (
+	goldenSeed = uint64(experiments.DefaultSeed)
+	goldenN    = 4096
+	goldenOps  = 28
+)
+
+// TestHealthyScenarioHasZeroHookOverhead is the golden healthy run: with an
+// empty injector attached to every hook, virtual time must not move at all
+// relative to the hookless reference.
+func TestHealthyScenarioHasZeroHookOverhead(t *testing.T) {
+	cells, err := experiments.FaultSweep("healthy", goldenSeed, goldenN, goldenOps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d policies, want 3", len(cells))
+	}
+	for _, c := range cells {
+		if c.OverheadPct != 0 {
+			t.Errorf("%s: empty-injector overhead %+.6f%%, want exactly 0", c.Policy, c.OverheadPct)
+		}
+		if c.Stalled || c.OpsDone != goldenOps {
+			t.Errorf("%s: healthy run stalled=%v ops=%d/%d", c.Policy, c.Stalled, c.OpsDone, goldenOps)
+		}
+		if c.FaultSeconds != c.HealthySeconds {
+			t.Errorf("%s: attached run %v s vs reference %v s — hooks moved virtual time", c.Policy, c.FaultSeconds, c.HealthySeconds)
+		}
+	}
+}
+
+// TestLostGPUAcceptance is the golden lost-gpu run, asserting the headline
+// claim: the adaptive runtime recovers to >= 90% of its healthy steady
+// state after device restore, while static and offline-trained stall on
+// the dead context.
+func TestLostGPUAcceptance(t *testing.T) {
+	tel := telemetry.New()
+	cells, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]experiments.FaultCell{}
+	for _, c := range cells {
+		byPolicy[c.Policy] = c
+	}
+
+	ad := byPolicy["adaptive"]
+	if ad.Stalled {
+		t.Fatal("adaptive runtime stalled — fallback did not engage")
+	}
+	if ad.OpsDone != goldenOps {
+		t.Fatalf("adaptive completed %d/%d ops", ad.OpsDone, goldenOps)
+	}
+	if ad.SteadySS < experiments.RecoveryThreshold*ad.HealthySS {
+		t.Fatalf("adaptive steady state %v below %v%% of healthy %v",
+			ad.SteadySS, 100*experiments.RecoveryThreshold, ad.HealthySS)
+	}
+	if ad.RecoverySec < 0 {
+		t.Fatal("adaptive never regained the recovery threshold after restore")
+	}
+
+	for _, policy := range []string{"static", "qilin-trained"} {
+		c := byPolicy[policy]
+		if !c.Stalled {
+			t.Errorf("%s survived the outage — context-loss semantics broken", policy)
+		}
+		if c.OpsDone >= goldenOps {
+			t.Errorf("%s completed all ops despite stalling", policy)
+		}
+	}
+
+	// Fault activations and recoveries must be visible as trace events.
+	var lossSpan, fallback, reinit bool
+	for _, e := range tel.Trace.Events() {
+		switch {
+		case e.Track == "fault" && e.Name == "gpu.loss":
+			lossSpan = true
+		case e.Name == "gpu.fallback":
+			fallback = true
+		case e.Name == "gpu.reinit":
+			reinit = true
+		}
+	}
+	if !lossSpan || !fallback || !reinit {
+		t.Errorf("trace missing fault events: loss=%v fallback=%v reinit=%v", lossSpan, fallback, reinit)
+	}
+}
+
+// TestSweepIsDeterministic: identical seeds must reproduce every metric
+// bit for bit, fault schedule and all.
+func TestSweepIsDeterministic(t *testing.T) {
+	a, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweeps diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestNetStormDeterministicAndRecovered(t *testing.T) {
+	a, err := experiments.NetStorm(goldenSeed, 8, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.NetStorm(goldenSeed, 8, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("net storms diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Drops == 0 || a.Retries != a.Drops {
+		t.Fatalf("drops %d retries %d — every drop must be retried", a.Drops, a.Retries)
+	}
+	if a.FaultSeconds <= a.HealthySeconds {
+		t.Fatal("flaky fabric not slower than healthy")
+	}
+}
+
+func TestFailoverCheckpointWins(t *testing.T) {
+	res := experiments.Failover(goldenSeed, 9728, nil)
+	if res.Scratch.Failures != 1 || res.Checkpointed.Failures != 1 {
+		t.Fatalf("failures: scratch %d ckpt %d", res.Scratch.Failures, res.Checkpointed.Failures)
+	}
+	if res.Checkpointed.Seconds >= res.Scratch.Seconds {
+		t.Fatalf("checkpointed %v s not faster than scratch %v s",
+			res.Checkpointed.Seconds, res.Scratch.Seconds)
+	}
+	if res.Checkpointed.RedoneIterations > 1 {
+		t.Fatalf("checkpointed run redid %d iterations", res.Checkpointed.RedoneIterations)
+	}
+}

@@ -1,0 +1,86 @@
+package tianhe_test
+
+// BenchmarkFaultHookOverhead measures what the fault-injection hooks cost
+// on the hybrid DGEMM path when no faults are scheduled. The three
+// sub-benchmarks run the identical simulated workload: Baseline never
+// installs a hook (the nil fast path every production run takes), Empty
+// attaches an injector with an empty event schedule to every hook (GPU
+// health, queue stretch, CPU throttle), and Scenario attaches a real
+// degraded-gpu schedule. Baseline and Empty must produce identical virtual
+// results, and Empty's wall-clock cost must stay within noise of Baseline —
+// the nil-hook hot path is one pointer check per booking.
+
+import (
+	"testing"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/experiments"
+	"tianhe/internal/fault"
+	"tianhe/internal/hybrid"
+)
+
+// faultWorkload runs three hybrid DGEMMs at N = 12288 on a fresh
+// ACMLG+both element with the given injector attached (nil = no hooks).
+func faultWorkload(in *fault.Injector) float64 {
+	el := element.New(element.Config{Seed: experiments.DefaultSeed, Virtual: true})
+	fault.Attach(in, el)
+	work := 2.0 * 12288 * 12288 * 12288
+	part := adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
+	run := hybrid.New(el, element.ACMLGBoth, part)
+	var g float64
+	for j := 0; j < 3; j++ {
+		g = run.GemmVirtual(12288, 12288, 12288, 1, el.Now()).GFLOPS()
+	}
+	return g
+}
+
+func BenchmarkFaultHookOverhead(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last = faultWorkload(nil)
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+	b.Run("Empty", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			last = faultWorkload(fault.New(experiments.DefaultSeed))
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+	b.Run("Scenario", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			in, err := fault.NewScenario("degraded-gpu", 3, experiments.DefaultSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = faultWorkload(in)
+		}
+		b.ReportMetric(last, "vGFLOPS")
+	})
+}
+
+// TestEmptyInjectorIsObservationallyNil proves the hook seams carry no
+// virtual-time cost: an attached empty injector must reproduce the
+// hookless run bit for bit.
+func TestEmptyInjectorIsObservationallyNil(t *testing.T) {
+	var reports [2]hybrid.Report
+	for i, in := range []*fault.Injector{nil, fault.New(experiments.DefaultSeed)} {
+		el := element.New(element.Config{Seed: experiments.DefaultSeed, Virtual: true})
+		fault.Attach(in, el)
+		work := 2.0 * 8192 * 8192 * 8192
+		part := adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
+		run := hybrid.New(el, element.ACMLGBoth, part)
+		var rep hybrid.Report
+		for j := 0; j < 4; j++ {
+			rep = run.GemmVirtual(8192, 8192, 8192, 1, el.Now())
+		}
+		reports[i] = rep
+	}
+	if reports[0].End != reports[1].End || reports[0].GSplit != reports[1].GSplit {
+		t.Fatalf("empty injector moved virtual time: %+v vs %+v", reports[0], reports[1])
+	}
+}

@@ -26,6 +26,18 @@ type DatabaseG struct {
 	touched []bool
 	maxWork float64
 	initial float64
+
+	// Fault-resilience state (never serialized — a persisted database is
+	// always the healthy view). While quarantined, stores are discarded:
+	// measurements taken during an outage describe hardware that no longer
+	// exists. After Rewarm, stale buckets are blended back from the initial
+	// peak ratio toward their learned value as trust recovers with a
+	// configurable half-life in observations.
+	quarantined bool
+	warming     bool
+	stale       []bool
+	trust       float64
+	decay       float64 // per-store factor on the remaining distrust, 0.5^(1/halfLife)
 }
 
 // NewDatabaseG builds a database with j buckets over workloads in
@@ -70,19 +82,81 @@ func (d *DatabaseG) index(work float64) int {
 }
 
 // Lookup returns the stored split for a workload of the given flop count.
+// During a re-warm, buckets whose learned value predates the outage return
+// a blend initial + (learned-initial)*trust: right after recovery the
+// conservative peak ratio, converging back to the learned split as fresh
+// measurements rebuild trust.
 func (d *DatabaseG) Lookup(work float64) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.buckets[d.index(work)]
+	i := d.index(work)
+	v := d.buckets[i]
+	if d.warming && d.stale[i] {
+		v = d.initial + (v-d.initial)*d.trust
+	}
+	return v
 }
 
 // Store writes a new split for the bucket covering the given workload.
+// While quarantined the write is discarded; during a re-warm it marks the
+// bucket fresh and steps the database-wide trust toward 1 with the
+// half-life configured in Rewarm.
 func (d *DatabaseG) Store(work, split float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.quarantined {
+		return
+	}
 	i := d.index(work)
 	d.buckets[i] = split
 	d.touched[i] = true
+	if d.warming {
+		d.stale[i] = false
+		d.trust = 1 - (1-d.trust)*d.decay
+		if d.trust > 0.999 {
+			d.warming = false
+		}
+	}
+}
+
+// Quarantine freezes the database during a device outage: lookups keep
+// answering from the last healthy state (the runtime still needs splits for
+// its CPU-side fallback), but stores are discarded until Rewarm — rates
+// measured against lost hardware must never overwrite learned splits.
+func (d *DatabaseG) Quarantine() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.quarantined = true
+}
+
+// Quarantined reports whether stores are currently discarded.
+func (d *DatabaseG) Quarantined() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quarantined
+}
+
+// Rewarm lifts a quarantine after device recovery. Every previously learned
+// bucket is marked stale and trust drops to zero, so lookups restart from
+// the initial peak ratio; each subsequent Store halves the remaining
+// distrust every halfLife observations (trust after k stores is
+// 1-0.5^(k/halfLife)). halfLife <= 0 restores full trust immediately.
+func (d *DatabaseG) Rewarm(halfLife float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.quarantined = false
+	if halfLife <= 0 {
+		d.warming = false
+		d.trust = 1
+		return
+	}
+	d.warming = true
+	d.trust = 0
+	d.decay = math.Pow(0.5, 1/halfLife)
+	if len(d.stale) != len(d.buckets) {
+		d.stale = make([]bool, len(d.buckets))
+	}
+	copy(d.stale, d.touched)
 }
 
 // Entry is one database_g item in a snapshot.
@@ -148,6 +222,13 @@ func (d *DatabaseG) UnmarshalJSON(b []byte) error {
 	d.initial = j.Initial
 	d.buckets = j.Buckets
 	d.touched = j.Touched
+	// A restore is a fresh healthy state: any in-flight quarantine/re-warm
+	// belongs to the overwritten run.
+	d.quarantined = false
+	d.warming = false
+	d.stale = nil
+	d.trust = 0
+	d.decay = 0
 	return nil
 }
 
@@ -175,6 +256,17 @@ func (d *DatabaseC) Splits() []float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return append([]float64(nil), d.splits...)
+}
+
+// Restore overwrites the per-core fractions with a snapshot previously taken
+// by Splits, for checkpoint/restore. The arity must match.
+func (d *DatabaseC) Restore(splits []float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(splits) != len(d.splits) {
+		panic("adaptive: database_c restore arity mismatch")
+	}
+	copy(d.splits, splits)
 }
 
 // Update recomputes the fractions from one execution: works[i] is the flop

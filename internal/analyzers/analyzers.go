@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		NoWallTime,
 		NoGlobalRand,
 		TelemetryNil,
+		FaultNil,
 		FloatEq,
 		MapIterOrder,
 		MutexCopy,

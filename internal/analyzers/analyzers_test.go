@@ -8,12 +8,13 @@ import (
 func TestNoWallTime(t *testing.T)   { RunFixture(t, NoWallTime, "nowalltime") }
 func TestNoGlobalRand(t *testing.T) { RunFixture(t, NoGlobalRand, "noglobalrand") }
 func TestTelemetryNil(t *testing.T) { RunFixture(t, TelemetryNil, "telemetrynil") }
+func TestFaultNil(t *testing.T)     { RunFixture(t, FaultNil, "faultnil") }
 func TestFloatEq(t *testing.T)      { RunFixture(t, FloatEq, "floateq") }
 func TestMapIterOrder(t *testing.T) { RunFixture(t, MapIterOrder, "mapiterorder") }
 func TestMutexCopy(t *testing.T)    { RunFixture(t, MutexCopy, "mutexcopy") }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "floateq", "mapiterorder", "mutexcopy"}
+	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,29 @@
+package analyzers
+
+// faultNilContract instantiates the shared nil contract (see
+// nilcontract.go) for fault injectors: a nil *fault.Injector is the
+// documented no-faults mode — every hook method returns the healthy value
+// on a nil receiver, which is what keeps the hook seams free when fault
+// injection is off (see BenchmarkFaultHookOverhead). Method calls are
+// therefore always safe, but dereferencing or reading a field through a
+// nil injector panics. Unlike telemetry, Injector has no Enabled()
+// predicate: only explicit `in == nil` / `in != nil` comparisons guard.
+var faultNilContract = nilContract{
+	pkgPath:  "tianhe/internal/fault",
+	typeName: "Injector",
+	display:  "*fault.Injector",
+	note:     "nil is the no-faults mode; methods are nil-safe, dereferences and fields are not",
+}
+
+// FaultNil enforces the no-faults-mode contract of fault injectors: any
+// function that takes an injector parameter must dominate dereferences and
+// field reads with a nil check, so that the nil (hooks disabled) fast path
+// stays panic-free everywhere an injector is threaded through.
+var FaultNil = &Analyzer{
+	Name: "faultnil",
+	Doc: "functions taking a *fault.Injector parameter must tolerate nil " +
+		"(the no-faults mode): dereferences and struct field access are " +
+		"flagged unless dominated by a nil check; nil-safe method calls " +
+		"are always allowed",
+	Run: faultNilContract.run,
+}

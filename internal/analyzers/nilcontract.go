@@ -1,0 +1,385 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilContract describes a pointer type whose nil value is a documented
+// "disabled" mode: every method no-ops (or returns the healthy default) on
+// a nil receiver, so method calls are always safe — but reading a struct
+// field or explicitly dereferencing through a nil pointer panics. run
+// walks every function that takes a parameter of the type and flags such
+// reads unless a nil check dominates them.
+//
+// telemetrynil and faultnil are both instances of this contract; they
+// differ only in the guarded type and the wording of the diagnostic.
+type nilContract struct {
+	// pkgPath and typeName identify the guarded named type; parameters of
+	// type *pkgPath.typeName are tracked.
+	pkgPath  string
+	typeName string
+	// display is how diagnostics name the type ("*telemetry.Telemetry").
+	display string
+	// enabledMethod, when non-empty, names a predicate method whose truth
+	// implies the pointer is non-nil (telemetry's Enabled). Types without
+	// such a method leave it empty; nil comparisons always count as guards.
+	enabledMethod string
+	// note is the trailing explanatory clause of every diagnostic.
+	note string
+}
+
+func (c *nilContract) run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, param := range c.params(pass.TypesInfo, ftype) {
+				w := &nilGuardWalker{pass: pass, contract: c, param: param}
+				w.stmts(body.List, false)
+			}
+			return true
+		})
+	}
+}
+
+// params returns the parameter objects of the guarded pointer type.
+func (c *nilContract) params(info *types.Info, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if c.isGuardedPtr(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func (c *nilContract) isGuardedPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == c.typeName && obj.Pkg() != nil && obj.Pkg().Path() == c.pkgPath
+}
+
+// nilGuardWalker tracks, along the statement list of one function, whether
+// a nil check on param dominates the current point. The analysis is
+// flow-insensitive inside expressions and ignores reassignment of the
+// parameter (never done in this codebase) — deliberately simple, but exact
+// for the two idioms in use:
+//
+//	if !tel.Enabled() { return }     // or: if p == nil { return }
+//	...fields usable from here on...
+//
+//	if tel.Enabled() { ...fields usable here... }
+type nilGuardWalker struct {
+	pass     *Pass
+	contract *nilContract
+	param    types.Object
+}
+
+// stmts walks a statement list with the given incoming guard state and
+// returns the state after the last statement.
+func (w *nilGuardWalker) stmts(list []ast.Stmt, guarded bool) bool {
+	for _, s := range list {
+		guarded = w.stmt(s, guarded)
+	}
+	return guarded
+}
+
+func (w *nilGuardWalker) stmt(s ast.Stmt, guarded bool) bool {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			guarded = w.stmt(st.Init, guarded)
+		}
+		w.expr(st.Cond, guarded)
+		thenGuard := guarded || w.impliesNonNil(st.Cond)
+		w.stmts(st.Body.List, thenGuard)
+		if st.Else != nil {
+			w.stmt(st.Else, guarded)
+		}
+		// `if p == nil { return }` (or any || chain containing such a
+		// test) guards everything after the if, provided the body cannot
+		// fall through.
+		if w.impliesNilPossible(st.Cond) && terminates(st.Body) {
+			return true
+		}
+		return guarded
+	case *ast.BlockStmt:
+		return w.stmts(st.List, guarded)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			guarded = w.stmt(st.Init, guarded)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, guarded)
+		}
+		if st.Post != nil {
+			w.stmt(st.Post, guarded)
+		}
+		return w.stmts(st.Body.List, guarded)
+	case *ast.RangeStmt:
+		w.expr(st.X, guarded)
+		return w.stmts(st.Body.List, guarded)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			guarded = w.stmt(st.Init, guarded)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, guarded)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, guarded)
+			}
+			w.stmts(cc.Body, guarded)
+		}
+		return guarded
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			guarded = w.stmt(st.Init, guarded)
+		}
+		w.stmt(st.Assign, guarded)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, guarded)
+		}
+		return guarded
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, guarded)
+			}
+			w.stmts(cc.Body, guarded)
+		}
+		return guarded
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, guarded)
+	case *ast.GoStmt:
+		w.expr(st.Call, guarded)
+		return guarded
+	case *ast.DeferStmt:
+		w.expr(st.Call, guarded)
+		return guarded
+	case *ast.ExprStmt:
+		w.expr(st.X, guarded)
+		return guarded
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, guarded)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, guarded)
+		}
+		return guarded
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, guarded)
+		}
+		return guarded
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, guarded)
+					}
+				}
+			}
+		}
+		return guarded
+	case *ast.IncDecStmt:
+		w.expr(st.X, guarded)
+		return guarded
+	case *ast.SendStmt:
+		w.expr(st.Chan, guarded)
+		w.expr(st.Value, guarded)
+		return guarded
+	default:
+		return guarded
+	}
+}
+
+// expr reports unguarded field reads and explicit dereferences through the
+// parameter anywhere in e. Nested function literals inherit the current
+// guard state: the parameter is never reassigned, so a guard established
+// before the literal still holds whenever it runs. Short-circuit operators
+// guard their right side: in `p != nil && p.F != nil` and
+// `p == nil || p.F == nil` the field read only evaluates once the left
+// side proved p non-nil.
+func (w *nilGuardWalker) expr(e ast.Expr, guarded bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, guarded)
+			return false
+		}
+		if bin, ok := n.(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.LAND:
+				w.expr(bin.X, guarded)
+				w.expr(bin.Y, guarded || w.impliesNonNil(bin.X))
+				return false
+			case token.LOR:
+				w.expr(bin.X, guarded)
+				w.expr(bin.Y, guarded || w.impliesNilPossible(bin.X))
+				return false
+			}
+			return true
+		}
+		if star, ok := n.(*ast.StarExpr); ok {
+			id, ok := ast.Unparen(star.X).(*ast.Ident)
+			if ok && w.pass.TypesInfo.Uses[id] == w.param && !guarded {
+				w.pass.Reportf(star.Pos(),
+					"dereference of %s parameter %s without a dominating nil check (%s)",
+					w.contract.display, id.Name, w.contract.note)
+			}
+			return true
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || w.pass.TypesInfo.Uses[id] != w.param {
+			return true
+		}
+		s := w.pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true // method value/call: nil-safe by contract
+		}
+		if !guarded {
+			w.pass.Reportf(sel.Pos(),
+				"field %s.%s read on %s parameter without a dominating nil check (%s)",
+				id.Name, sel.Sel.Name, w.contract.display, w.contract.note)
+		}
+		return true
+	})
+}
+
+// impliesNonNil reports whether cond being true proves the parameter is
+// non-nil: a `p != nil` (or enabled-method call) conjunct anywhere in an
+// && chain.
+func (w *nilGuardWalker) impliesNonNil(cond ast.Expr) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return w.impliesNonNil(c.X) || w.impliesNonNil(c.Y)
+		case token.NEQ:
+			return w.isParamNilComparison(c)
+		}
+	case *ast.CallExpr:
+		return w.isEnabledCall(c)
+	}
+	return false
+}
+
+// impliesNilPossible reports whether cond being true may indicate a nil
+// parameter — i.e. cond is an || chain with a `p == nil` (or negated
+// enabled-method) disjunct, so cond being FALSE proves p non-nil.
+func (w *nilGuardWalker) impliesNilPossible(cond ast.Expr) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			return w.impliesNilPossible(c.X) || w.impliesNilPossible(c.Y)
+		case token.EQL:
+			return w.isParamNilComparison(c)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			if call, ok := ast.Unparen(c.X).(*ast.CallExpr); ok {
+				return w.isEnabledCall(call)
+			}
+		}
+	}
+	return false
+}
+
+// isParamNilComparison reports whether bin compares the parameter against
+// nil (either side).
+func (w *nilGuardWalker) isParamNilComparison(bin *ast.BinaryExpr) bool {
+	isParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && w.pass.TypesInfo.Uses[id] == w.param
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := w.pass.TypesInfo.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	return (isParam(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isParam(bin.Y))
+}
+
+// isEnabledCall reports whether call invokes the contract's enabled-method
+// on the parameter.
+func (w *nilGuardWalker) isEnabledCall(call *ast.CallExpr) bool {
+	if w.contract.enabledMethod == "" {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != w.contract.enabledMethod {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.pass.TypesInfo.Uses[id] == w.param
+}
+
+// terminates reports whether a block always transfers control away from
+// the following statement (return / panic / os.Exit / goto-like exits as
+// last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			// os.Exit, log.Fatal and friends — by name, which is enough
+			// for a guard heuristic.
+			return fun.Sel.Name == "Exit" || fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Package faultnil is a tianhelint fixture: a nil *fault.Injector is the
+// no-faults mode, so dereferencing an injector parameter must be dominated
+// by a nil check; the injector's nil-safe hook methods are always fine.
+// (The injector's fields are unexported, so the field-read half of the
+// contract is only reachable inside internal/fault itself — this fixture
+// exercises the dereference half, which any caller can get wrong.)
+package faultnil
+
+import "tianhe/internal/fault"
+
+func unguardedDeref(in *fault.Injector) fault.Injector {
+	return *in // want "dereference of \\*fault.Injector parameter in without a dominating nil check"
+}
+
+func unguardedCopy(in *fault.Injector) {
+	snapshot := *in // want "dereference of \\*fault.Injector parameter in without a dominating nil check"
+	_ = snapshot
+}
+
+func hookMethodsAreFine(in *fault.Injector) float64 {
+	f := in.KernelFactor(0) * in.TransferFactor(0) * in.CoreFactor(0, 0)
+	if in.LostIn(0, 1) {
+		f = 0
+	}
+	return f
+}
+
+func guardedByEarlyReturn(in *fault.Injector) fault.Injector {
+	if in == nil {
+		return fault.Injector{}
+	}
+	return *in
+}
+
+func guardedBranchOnly(in *fault.Injector) {
+	if in != nil {
+		_ = *in
+	}
+	_ = *in // want "dereference of \\*fault.Injector parameter in without a dominating nil check"
+}
+
+func shortCircuitAnd(in *fault.Injector, out *fault.Injector) {
+	// Both parameters are proven non-nil by conjuncts of the same chain.
+	if in != nil && out != nil {
+		*out = *in
+	}
+}
+
+func wrongParamGuard(in *fault.Injector, out *fault.Injector) {
+	// Each parameter needs its own guard: checking `in` says nothing
+	// about `out`.
+	if in != nil {
+		*out = *in // want "dereference of \\*fault.Injector parameter out without a dominating nil check"
+	}
+}
+
+func guardHoldsInClosure(in *fault.Injector) func() fault.Injector {
+	if in == nil {
+		return func() fault.Injector { return fault.Injector{} }
+	}
+	return func() fault.Injector { return *in }
+}
+
+func closureUnguarded(in *fault.Injector) func() fault.Injector {
+	return func() fault.Injector {
+		return *in // want "dereference of \\*fault.Injector parameter in without a dominating nil check"
+	}
+}
+
+func suppressed(in *fault.Injector) {
+	//lint:ignore faultnil fixture demonstrates a justified suppression
+	_ = *in
+}

@@ -55,11 +55,13 @@ func (c Config) withDefaults() Config {
 
 // Core is one compute core.
 type Core struct {
-	Model   perfmodel.CPUCore
-	TL      *sim.Timeline
-	jitter  *sim.RNG
-	sigma   float64
-	virtual bool
+	Model    perfmodel.CPUCore
+	TL       *sim.Timeline
+	index    int
+	jitter   *sim.RNG
+	sigma    float64
+	virtual  bool
+	throttle func(core int, t sim.Time) float64 // nil: full rate
 }
 
 // CPU is the host processor: ComputeCores worker cores plus a dedicated
@@ -83,6 +85,7 @@ func New(cfg Config) *CPU {
 		c.cores = append(c.cores, &Core{
 			Model:   model,
 			TL:      sim.NewTimeline(fmt.Sprintf("cpu.core%d", i)),
+			index:   i,
 			jitter:  sim.NewStream(cfg.Seed, fmt.Sprintf("cpu/jitter%d", i)),
 			sigma:   cfg.JitterSigma,
 			virtual: cfg.Virtual,
@@ -99,6 +102,19 @@ func (c *CPU) Core(i int) *Core { return c.cores[i] }
 
 // Cores returns all compute cores.
 func (c *CPU) Cores() []*Core { return c.cores }
+
+// SetThrottle installs a rate-throttle hook on every compute core for fault
+// injection: the hook receives the core index and the slice's earliest start
+// time and returns a rate multiplier in (0, 1] — slice durations are divided
+// by it. A nil hook (the default) restores the full-rate fast path at the
+// cost of one nil check per slice. The hook must be deterministic in
+// (core, t) plus its own internal stream state; cores call it sequentially
+// from the element's driving goroutine.
+func (c *CPU) SetThrottle(hook func(core int, t sim.Time) float64) {
+	for _, core := range c.cores {
+		core.throttle = hook
+	}
+}
 
 // Reset returns every core timeline to time zero.
 func (c *CPU) Reset() {
@@ -125,6 +141,13 @@ func (k *Core) GemmVirtual(m, n, kk int, commActive bool, earliest sim.Time) sim
 
 func (k *Core) book(m, n, kk int, commActive bool, earliest sim.Time) sim.Span {
 	dur := k.Model.Seconds(m, n, kk, commActive) * k.jitter.LogNormalFactor(k.sigma)
+	if k.throttle != nil {
+		f := k.throttle(k.index, earliest)
+		if f <= 0 || f > 1 {
+			panic(fmt.Sprintf("cpu: throttle factor %v for core %d outside (0, 1]", f, k.index))
+		}
+		dur /= f
+	}
 	return k.TL.Book("gemm", earliest, dur)
 }
 

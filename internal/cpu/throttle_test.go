@@ -1,0 +1,56 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"tianhe/internal/sim"
+)
+
+func TestThrottleScalesDurationExactly(t *testing.T) {
+	a := New(Config{Seed: 5})
+	b := New(Config{Seed: 5})
+	b.SetThrottle(func(core int, tm sim.Time) float64 { return 0.5 })
+	for i := 0; i < a.NumCores(); i++ {
+		sa := a.Core(i).GemmVirtual(400, 300, 200, false, 0)
+		sb := b.Core(i).GemmVirtual(400, 300, 200, false, 0)
+		da, db := sa.End-sa.Start, sb.End-sb.Start
+		// Same seed, same jitter draws: the throttle divides the duration
+		// exactly, noise and all.
+		if math.Abs(db-2*da) > 1e-12*da {
+			t.Fatalf("core %d: throttled %v, want exactly 2x %v", i, db, da)
+		}
+	}
+}
+
+func TestThrottleTargetsSingleCore(t *testing.T) {
+	a := New(Config{Seed: 9})
+	b := New(Config{Seed: 9})
+	b.SetThrottle(func(core int, tm sim.Time) float64 {
+		if core == 0 {
+			return 0.25
+		}
+		return 1
+	})
+	s0a := a.Core(0).GemmVirtual(256, 256, 256, false, 0)
+	s0b := b.Core(0).GemmVirtual(256, 256, 256, false, 0)
+	if d := (s0b.End - s0b.Start) / (s0a.End - s0a.Start); math.Abs(d-4) > 1e-9 {
+		t.Fatalf("core 0 slowdown %v, want 4", d)
+	}
+	s1a := a.Core(1).GemmVirtual(256, 256, 256, false, 0)
+	s1b := b.Core(1).GemmVirtual(256, 256, 256, false, 0)
+	if d := (s1b.End - s1b.Start) / (s1a.End - s1a.Start); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("core 1 touched by a core-0 throttle: %v", d)
+	}
+}
+
+func TestThrottleRejectsInvalidFactor(t *testing.T) {
+	c := New(Config{Seed: 1})
+	c.SetThrottle(func(core int, tm sim.Time) float64 { return 1.5 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("speed-up throttle factor accepted")
+		}
+	}()
+	c.Core(0).GemmVirtual(64, 64, 64, false, 0)
+}

@@ -57,19 +57,19 @@ func AblationBlockRows(hs []int) *bench.Series {
 
 // AblationBuckets sweeps database_g's item count J (Section IV.B): one
 // bucket forces a single split for every workload; many buckets let each
-// trailing-matrix size keep its own.
-func AblationBuckets(js []int) *bench.Series {
+// trailing-matrix size keep its own. Deterministic in seed.
+func AblationBuckets(js []int, seed uint64) *bench.Series {
 	if js == nil {
 		js = []int{1, 2, 4, 16, 64, 256}
 	}
 	s := &bench.Series{Name: "Linpack GFLOPS"}
 	const n = 24320
 	for _, j := range js {
-		el := element.New(element.Config{Seed: DefaultSeed, Virtual: true})
+		el := element.New(element.Config{Seed: seed, Virtual: true})
 		part := adaptive.NewAdaptive(j, 2.0/3.0*float64(n)*float64(n)*float64(n),
 			el.InitialGSplit(), el.CPU.NumCores())
 		res := linpacksim.Run(linpacksim.Config{
-			N: n, Variant: element.ACMLGBoth, Seed: DefaultSeed, Part: part,
+			N: n, Variant: element.ACMLGBoth, Seed: seed, Part: part,
 		})
 		s.Add(float64(j), res.GFLOPS)
 	}
@@ -78,8 +78,8 @@ func AblationBuckets(js []int) *bench.Series {
 
 // AblationStaging compares the three CPU-GPU transfer strategies of Section
 // V.A on the Linpack ACMLG baseline: naive pageable, the faster pageable
-// memcpy path, and the chunked pinned-pool staging.
-func AblationStaging() *bench.Series {
+// memcpy path, and the chunked pinned-pool staging. Deterministic in seed.
+func AblationStaging(seed uint64) *bench.Series {
 	s := &bench.Series{Name: "Linpack GFLOPS"}
 	configs := []struct {
 		idx      float64
@@ -90,7 +90,7 @@ func AblationStaging() *bench.Series {
 		{2, perfmodel.DefaultTransfer()},
 	}
 	for _, c := range configs {
-		el := element.New(element.Config{Seed: DefaultSeed, Virtual: true, Transfer: c.transfer})
+		el := element.New(element.Config{Seed: seed, Virtual: true, Transfer: c.transfer})
 		run := hybrid.New(el, element.ACMLG, nil)
 		rep := run.GemmVirtual(24320, 24320, 1216, 1, 0)
 		s.Add(c.idx, rep.GFLOPS())
@@ -121,8 +121,8 @@ func AblationTile(tiles []int) *bench.Series {
 
 // AblationNB sweeps the Linpack blocking factor around the paper's
 // empirically chosen 1216 (Section VI.A: large blocks feed the GPU, too
-// large hurts balance and panel cost).
-func AblationNB(nbs []int) *bench.Series {
+// large hurts balance and panel cost). Deterministic in seed.
+func AblationNB(nbs []int, seed uint64) *bench.Series {
 	if nbs == nil {
 		nbs = []int{196, 448, 704, 960, 1216, 1472, 1984, 2432}
 	}
@@ -130,7 +130,7 @@ func AblationNB(nbs []int) *bench.Series {
 	for _, nb := range nbs {
 		n := 46080 - 46080%nb // keep whole blocks
 		res := linpacksim.Run(linpacksim.Config{
-			N: n, NB: nb, Variant: element.ACMLGBoth, Seed: DefaultSeed,
+			N: n, NB: nb, Variant: element.ACMLGBoth, Seed: seed,
 		})
 		s.Add(float64(nb), res.GFLOPS)
 	}

@@ -26,7 +26,7 @@ func TestAblationBlockRowsBounded(t *testing.T) {
 }
 
 func TestAblationBucketsAllConverge(t *testing.T) {
-	s := AblationBuckets([]int{1, 64})
+	s := AblationBuckets([]int{1, 64}, DefaultSeed)
 	one, _ := s.Y(1)
 	many, _ := s.Y(64)
 	// Both configurations must land in the optimized band; the interesting
@@ -39,7 +39,7 @@ func TestAblationBucketsAllConverge(t *testing.T) {
 }
 
 func TestAblationStagingOrdering(t *testing.T) {
-	s := AblationStaging()
+	s := AblationStaging(DefaultSeed)
 	naive, _ := s.Y(0)
 	pageable, _ := s.Y(1)
 	pinned, _ := s.Y(2)
@@ -62,7 +62,7 @@ func TestAblationTileSmallTilesLose(t *testing.T) {
 }
 
 func TestAblationNBShape(t *testing.T) {
-	s := AblationNB([]int{196, 1216, 2432})
+	s := AblationNB([]int{196, 1216, 2432}, DefaultSeed)
 	tiny, _ := s.Y(196)
 	paper, _ := s.Y(1216)
 	huge, _ := s.Y(2432)

@@ -1,0 +1,24 @@
+package fault
+
+import (
+	"tianhe/internal/element"
+)
+
+// Attach wires the injector into every hook a compute element exposes: the
+// GPU's health interface, the GPU command queue's stall-stretch hook, and
+// the per-core CPU throttle. A nil injector attaches nothing, preserving
+// the models' nil-hook fast paths — the hardware then runs with zero fault
+// overhead rather than through no-op hooks.
+//
+// One injector serves one element (its jitter streams are keyed by core
+// index); build a fresh injector per element. MPI wiring is separate:
+// pass the injector as mpi.Config.LinkFault and, for CrossCabinetOnly
+// events, call SetRanksPerCabinet with the world's cabinet layout.
+func Attach(in *Injector, el *element.Element) {
+	if in == nil {
+		return
+	}
+	el.GPU.SetHealth(in)
+	el.GPU.Queue.SetStretch(in.StretchGPU)
+	el.CPU.SetThrottle(in.CoreFactor)
+}

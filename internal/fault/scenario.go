@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+
+	"tianhe/internal/sim"
+)
+
+// Scenarios lists the named fault scenarios in sweep order. "healthy" is
+// the fault-free reference every other scenario is measured against.
+var Scenarios = []string{
+	"healthy", "degraded-gpu", "lost-gpu", "flaky-net", "jitter-storm", "element-fail",
+}
+
+// Scenario returns the event schedule for a named scenario, scaled to a
+// run whose healthy makespan is horizon: window boundaries are fixed
+// fractions of the horizon, so the same scenario stresses the same phase
+// of a run regardless of problem size. "healthy" returns no events (attach
+// its empty injector to measure hook overhead). Unknown names error.
+func Scenario(name string, horizon sim.Time) ([]Event, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("fault: scenario horizon %v not positive", horizon)
+	}
+	h := horizon
+	switch name {
+	case "healthy":
+		return nil, nil
+	case "degraded-gpu":
+		// Mid-run thermal throttle: the GPU drops to 45% of its rate and
+		// the PCIe link retrains to half width for the same window.
+		return []Event{
+			{Kind: GPUDegrade, Start: 0.30 * h, End: 0.75 * h, Factor: 0.45},
+			{Kind: DMADegrade, Start: 0.30 * h, End: 0.75 * h, Factor: 0.50},
+		}, nil
+	case "lost-gpu":
+		// Full device loss for a quarter of the run. The context created
+		// before the loss is poisoned; only fault-aware runtimes reinit
+		// after restore.
+		return []Event{
+			{Kind: GPULoss, Start: 0.35 * h, End: 0.60 * h},
+		}, nil
+	case "flaky-net":
+		// Transient message loss the whole run, plus a mid-run bandwidth
+		// collapse confined to cross-cabinet links.
+		return []Event{
+			{Kind: LinkDrop, Start: 0, End: 10 * h, Magnitude: 0.04},
+			{Kind: LinkDegrade, Start: 0.40 * h, End: 0.70 * h, Factor: 0.60, CrossCabinetOnly: true},
+		}, nil
+	case "jitter-storm":
+		// OS-noise burst on every core, a throttled core 0, and three
+		// ECC-style scrub stalls freezing the GPU queue.
+		return []Event{
+			{Kind: CPUJitterStorm, Start: 0.30 * h, End: 0.80 * h, Magnitude: 0.35},
+			{Kind: CPUThrottle, Start: 0.30 * h, End: 0.80 * h, Factor: 0.55, Core: 0},
+			{Kind: GPUStall, Start: 0.45 * h, End: 0.46 * h},
+			{Kind: GPUStall, Start: 0.60 * h, End: 0.61 * h},
+			{Kind: GPUStall, Start: 0.72 * h, End: 0.73 * h},
+		}, nil
+	case "element-fail":
+		// The whole element dies halfway through; linpacksim's failover
+		// path restarts it from the last checkpoint.
+		return []Event{
+			{Kind: ElementFail, Start: 0.50 * h},
+		}, nil
+	}
+	return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Scenarios)
+}
+
+// NewScenario builds an injector for a named scenario (see Scenario).
+func NewScenario(name string, horizon sim.Time, seed uint64) (*Injector, error) {
+	events, err := Scenario(name, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, events...), nil
+}

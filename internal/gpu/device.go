@@ -51,13 +51,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Health is the fault-injection view of a device: time-varying rate factors
+// for the kernel and transfer engines and a loss record. The contract
+// mirrors telemetry's nil pattern — a device without a health source (the
+// default) pays one nil check per operation and behaves exactly like the
+// seed code. Implementations must be deterministic in virtual time.
+type Health interface {
+	// KernelFactor returns the kernel-rate multiplier in effect at t, in
+	// (0, 1]. Durations are divided by it.
+	KernelFactor(t sim.Time) float64
+	// TransferFactor is KernelFactor for the DMA engine.
+	TransferFactor(t sim.Time) float64
+	// LostIn reports whether the device was lost at any point in [from, to].
+	LostIn(from, to sim.Time) bool
+	// RestoredAt returns the end of the loss window active at t; t itself if
+	// the device is not lost at t.
+	RestoredAt(t sim.Time) sim.Time
+}
+
+// ReinitSeconds is the virtual cost of re-initializing a lost device
+// context: driver re-open, context setup and pinned-pool re-registration.
+const ReinitSeconds = 0.75
+
 // Device is one simulated GPU chip.
 type Device struct {
-	cfg   Config
-	used  int64
-	pool  *PinnedPool
-	Queue *sim.Timeline // kernel execution engine
-	DMA   *sim.Timeline // transfer engine (one per device: a single
+	cfg      Config
+	used     int64
+	pool     *PinnedPool
+	health   Health        // nil: always healthy (the fast path)
+	lastInit sim.Time      // virtual time the current context was created
+	Queue    *sim.Timeline // kernel execution engine
+	DMA      *sim.Timeline // transfer engine (one per device: a single
 	// dedicated host thread drives it, as in the paper)
 }
 
@@ -84,6 +108,70 @@ func (d *Device) Model() perfmodel.GPU { return d.cfg.Model }
 // booked spans are unaffected.
 func (d *Device) SetModel(m perfmodel.GPU) { d.cfg.Model = m }
 
+// SetHealth installs a health source for fault injection; nil (the default)
+// keeps the device permanently healthy with no per-operation overhead.
+func (d *Device) SetHealth(h Health) { d.health = h }
+
+// Health returns the installed health source, nil when none.
+func (d *Device) Health() Health { return d.health }
+
+// AvailableAt reports whether the device hardware answers at t (it may
+// still hold a dead context — see ContextDead).
+func (d *Device) AvailableAt(t sim.Time) bool {
+	return d.health == nil || !d.health.LostIn(t, t)
+}
+
+// ContextDead reports whether the device context created at the last (re-)
+// initialization has been invalidated by a loss event before t. As on real
+// hardware, losing the device poisons the context permanently: every later
+// submission fails until the runtime re-initializes, whether or not the
+// hardware itself has come back. Fault-unaware runtimes never do.
+func (d *Device) ContextDead(t sim.Time) bool {
+	return d.health != nil && d.health.LostIn(d.lastInit, t)
+}
+
+// Reinit books a context re-initialization on the command queue no earlier
+// than earliest and makes the new context's creation time the span end, so
+// a subsequent loss-free interval keeps it valid. Panics if the hardware is
+// still lost at earliest: callers must check AvailableAt first.
+func (d *Device) Reinit(earliest sim.Time) sim.Span {
+	if !d.AvailableAt(earliest) {
+		panic("gpu: reinit of a device that is still lost")
+	}
+	sp := d.Queue.Book("reinit", earliest, ReinitSeconds)
+	d.lastInit = sp.End
+	return sp
+}
+
+// healthFactor resolves the rate multiplier for work booked at or after
+// earliest. Device loss is modeled at operation granularity: chunks of an
+// operation admitted before the loss may land inside the window, and they
+// complete at the restore-time rate — as if the loss struck at the
+// operation's completion. Only new admissions observe the outage (the
+// hybrid runner's admission check stalls, falls back, or re-inits before
+// issuing fresh work against a dead context).
+func (d *Device) healthFactor(earliest sim.Time, factor func(sim.Time) float64) float64 {
+	f := factor(earliest)
+	if f <= 0 {
+		f = factor(d.health.RestoredAt(earliest))
+	}
+	if f <= 0 {
+		panic("gpu: health factor not positive after device restore")
+	}
+	return f
+}
+
+// kernelFactor returns the health rate multiplier for a kernel booked at
+// or after earliest.
+func (d *Device) kernelFactor(earliest sim.Time) float64 {
+	return d.healthFactor(earliest, d.health.KernelFactor)
+}
+
+// transferFactor is kernelFactor for DMA bookings.
+func (d *Device) transferFactor(earliest sim.Time) float64 {
+	return d.healthFactor(earliest, d.health.TransferFactor)
+}
+
 // TransferModel returns the device's CPU-GPU path model.
 func (d *Device) TransferModel() perfmodel.Transfer { return d.cfg.Transfer }
 
@@ -99,9 +187,12 @@ func (d *Device) MemUsed() int64 { return d.used }
 // Virtual reports whether the device skips real arithmetic.
 func (d *Device) Virtual() bool { return d.cfg.Virtual }
 
-// Reset frees all memory and clears both engines back to time zero.
+// Reset frees all memory and clears both engines back to time zero. The
+// context is considered freshly created at time zero; the health source, if
+// any, stays installed.
 func (d *Device) Reset() {
 	d.used = 0
+	d.lastInit = 0
 	d.Queue.Reset()
 	d.DMA.Reset()
 }
@@ -185,14 +276,22 @@ func (d *Device) Upload(src *matrix.Dense, dst *Buffer, earliest sim.Time) sim.S
 	}
 	tr, done := d.transferModel()
 	defer done()
-	return d.DMA.Book("up", earliest, tr.Seconds(dst.Bytes()))
+	return d.DMA.Book("up", earliest, d.transferSeconds(tr.Seconds(dst.Bytes()), earliest))
 }
 
 // UploadBytes books a shape-only upload of the given size (virtual paths).
 func (d *Device) UploadBytes(bytes int64, earliest sim.Time) sim.Span {
 	tr, done := d.transferModel()
 	defer done()
-	return d.DMA.Book("up", earliest, tr.Seconds(bytes))
+	return d.DMA.Book("up", earliest, d.transferSeconds(tr.Seconds(bytes), earliest))
+}
+
+// transferSeconds applies the health transfer factor to a model duration.
+func (d *Device) transferSeconds(seconds float64, earliest sim.Time) float64 {
+	if d.health != nil {
+		seconds /= d.transferFactor(earliest)
+	}
+	return seconds
 }
 
 // Download copies src back to host memory dst, booking the DMA engine.
@@ -209,14 +308,14 @@ func (d *Device) Download(src *Buffer, dst *matrix.Dense, earliest sim.Time) sim
 	}
 	tr, done := d.transferModel()
 	defer done()
-	return d.DMA.Book("down", earliest, tr.Seconds(src.Bytes()))
+	return d.DMA.Book("down", earliest, d.transferSeconds(tr.Seconds(src.Bytes()), earliest))
 }
 
 // DownloadBytes books a shape-only download of the given size.
 func (d *Device) DownloadBytes(bytes int64, earliest sim.Time) sim.Span {
 	tr, done := d.transferModel()
 	defer done()
-	return d.DMA.Book("down", earliest, tr.Seconds(bytes))
+	return d.DMA.Book("down", earliest, d.transferSeconds(tr.Seconds(bytes), earliest))
 }
 
 // Gemm executes C = alpha*A*B + beta*C on device buffers, booking the kernel
@@ -233,11 +332,27 @@ func (d *Device) Gemm(alpha float64, a, b *Buffer, beta float64, c *Buffer, deps
 	if !d.cfg.Virtual {
 		blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a.data, b.data, beta, c.data)
 	}
-	dur := d.cfg.Model.KernelSeconds(a.Rows, b.Cols, a.Cols)
+	dur := d.kernelSeconds(a.Rows, b.Cols, a.Cols, deps)
 	return d.Queue.BookAfter("gemm", dur, deps...)
 }
 
 // GemmVirtual books a kernel of the given shape without operand buffers.
 func (d *Device) GemmVirtual(m, n, k int, deps ...sim.Span) sim.Span {
-	return d.Queue.BookAfter("gemm", d.cfg.Model.KernelSeconds(m, n, k), deps...)
+	return d.Queue.BookAfter("gemm", d.kernelSeconds(m, n, k, deps), deps...)
+}
+
+// kernelSeconds applies the health kernel factor to a model duration, using
+// the latest dependency end as the submission time.
+func (d *Device) kernelSeconds(m, n, k int, deps []sim.Span) float64 {
+	dur := d.cfg.Model.KernelSeconds(m, n, k)
+	if d.health != nil {
+		var earliest sim.Time
+		for _, dep := range deps {
+			if dep.End > earliest {
+				earliest = dep.End
+			}
+		}
+		dur /= d.kernelFactor(earliest)
+	}
+	return dur
 }

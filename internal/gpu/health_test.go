@@ -1,0 +1,117 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"tianhe/internal/sim"
+)
+
+// stubHealth is a minimal gpu.Health: one loss window plus flat factors.
+type stubHealth struct {
+	kern, xfer       float64
+	lossFrom, lossTo sim.Time // half-open [from, to)
+}
+
+func (s stubHealth) factorAt(t sim.Time, f float64) float64 {
+	if s.lossFrom <= t && t < s.lossTo {
+		return 0
+	}
+	return f
+}
+func (s stubHealth) KernelFactor(t sim.Time) float64   { return s.factorAt(t, s.kern) }
+func (s stubHealth) TransferFactor(t sim.Time) float64 { return s.factorAt(t, s.xfer) }
+func (s stubHealth) LostIn(from, to sim.Time) bool {
+	return s.lossFrom < s.lossTo && s.lossFrom <= to && s.lossTo > from
+}
+func (s stubHealth) RestoredAt(t sim.Time) sim.Time {
+	if s.lossFrom <= t && t < s.lossTo {
+		return s.lossTo
+	}
+	return t
+}
+
+func TestHealthDegradesKernelAndTransfer(t *testing.T) {
+	base := New(Config{Virtual: true})
+	healthy := base.GemmVirtual(2048, 2048, 2048)
+	up := base.UploadBytes(1<<20, 0)
+
+	d := New(Config{Virtual: true})
+	d.SetHealth(stubHealth{kern: 0.5, xfer: 0.25})
+	slow := d.GemmVirtual(2048, 2048, 2048)
+	if got, want := slow.End-slow.Start, 2*(healthy.End-healthy.Start); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("degraded kernel %v, want %v", got, want)
+	}
+	slowUp := d.UploadBytes(1<<20, 0)
+	if got, want := slowUp.End-slowUp.Start, 4*(up.End-up.Start); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("degraded upload %v, want %v", got, want)
+	}
+}
+
+func TestContextDeathAndReinit(t *testing.T) {
+	d := New(Config{Virtual: true})
+	d.SetHealth(stubHealth{kern: 1, xfer: 1, lossFrom: 10, lossTo: 20})
+
+	if !d.AvailableAt(5) || d.AvailableAt(15) || !d.AvailableAt(20) {
+		t.Fatal("availability does not follow the loss window")
+	}
+	if d.ContextDead(5) {
+		t.Fatal("context dead before the loss")
+	}
+	// Once the loss window passes over the context's creation epoch, the
+	// context stays dead even after the device answers again.
+	if !d.ContextDead(15) || !d.ContextDead(30) {
+		t.Fatal("context survived the loss")
+	}
+
+	sp := d.Reinit(25)
+	if sp.End-sp.Start != ReinitSeconds {
+		t.Fatalf("reinit booked %v, want %v", sp.End-sp.Start, ReinitSeconds)
+	}
+	if d.ContextDead(sp.End) || d.ContextDead(1e6) {
+		t.Fatal("context still dead after reinit")
+	}
+}
+
+func TestReinitWhileLostPanics(t *testing.T) {
+	d := New(Config{Virtual: true})
+	d.SetHealth(stubHealth{kern: 1, xfer: 1, lossFrom: 10, lossTo: 20})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reinit during the outage accepted")
+		}
+	}()
+	d.Reinit(15)
+}
+
+func TestInFlightKernelRunsAtRestoreTimeRate(t *testing.T) {
+	// Loss is modeled at operation granularity: a chunk admitted before the
+	// loss whose booking lands inside the window completes at the rate in
+	// force at restore time — here 0.5, so exactly twice the healthy time.
+	base := New(Config{Virtual: true})
+	healthy := base.GemmVirtual(512, 512, 512)
+
+	d := New(Config{Virtual: true})
+	d.SetHealth(stubHealth{kern: 0.5, xfer: 1, lossFrom: 0, lossTo: 20})
+	dep := sim.Span{Start: 4, End: 5}
+	sp := d.GemmVirtual(512, 512, 512, dep)
+	want := 2 * (healthy.End - healthy.Start)
+	if got := sp.End - sp.Start; math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("in-flight kernel booked %v, want %v (restore-time rate)", got, want)
+	}
+}
+
+func TestResetClearsContextEpochKeepsHealth(t *testing.T) {
+	d := New(Config{Virtual: true})
+	h := stubHealth{kern: 0.5, xfer: 1, lossFrom: 10, lossTo: 20}
+	d.SetHealth(h)
+	d.Reinit(25)
+	d.Reset()
+	if d.Health() == nil {
+		t.Fatal("Reset dropped the health hook")
+	}
+	// The context epoch is back to zero: the old loss window kills it again.
+	if !d.ContextDead(30) {
+		t.Fatal("Reset kept the re-initialized context epoch")
+	}
+}

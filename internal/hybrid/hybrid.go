@@ -29,6 +29,12 @@ type Report struct {
 	TG, TC sim.Time
 	// Start and End bound the whole operation in virtual time.
 	Start, End sim.Time
+	// Stalled reports that the operation could not execute: the GPU context
+	// died (device loss) and this runner is not fault-aware, so its next
+	// kernel submission fails — on real hardware the library call returns a
+	// context error and the host program aborts. Fault-aware runners (see
+	// EnableGPUFaultFallback) never stall; they fall back to the CPU.
+	Stalled bool
 	// CoreWorks and CoreTimes hold the level-2 measurements.
 	CoreWorks, CoreTimes []float64
 	// BytesIn/BytesOut/BytesSkipped mirror the pipeline report.
@@ -54,6 +60,12 @@ type Runner struct {
 	part    adaptive.Partitioner
 	exec    *pipeline.Executor
 	probes  *runnerProbes // nil when telemetry is disabled
+
+	// GPU-loss resilience (EnableGPUFaultFallback); zero values = the
+	// fault-unaware seed behaviour.
+	fallback       bool
+	rewarmHalfLife float64
+	gpuDown        bool // currently running in CPU-only fallback
 }
 
 // runnerProbes holds the runner's metric handles, fetched once so the
@@ -115,6 +127,20 @@ func New(el *element.Element, v element.Variant, part adaptive.Partitioner) *Run
 	}
 }
 
+// EnableGPUFaultFallback makes the runner resilient to device loss, the
+// paper's adaptivity claim taken end-to-end: while the GPU is lost the
+// runner collapses GSplit to 0 and runs every slice on the compute cores,
+// quarantining database_g so outage measurements never overwrite learned
+// splits; when the device returns it re-initializes the context (booking the
+// reinit on the kernel queue) and re-warms the database with the given
+// half-life in observations (see adaptive.DatabaseG.Rewarm; <= 0 restores
+// full trust immediately). Without this call a device loss permanently
+// poisons the context and the next GPU submission returns a Stalled report.
+func (r *Runner) EnableGPUFaultFallback(rewarmHalfLife float64) {
+	r.fallback = true
+	r.rewarmHalfLife = rewarmHalfLife
+}
+
 // Variant returns the runner's configuration.
 func (r *Runner) Variant() element.Variant { return r.variant }
 
@@ -141,6 +167,54 @@ func (r *Runner) gpuRows(m int, work float64) (int, float64) {
 		m1 = m
 	}
 	return m1, split
+}
+
+// gpuAdmission applies device-health admission control to the planned GPU
+// row count m1 before anything is booked. On the healthy fast path (no
+// health source installed) it costs one nil check. With a dead context the
+// outcome depends on the runner: fault-unaware runners stall (second return
+// true); fault-aware runners either fall back to the CPU (m1 -> 0, with a
+// one-time database_g quarantine at the transition) while the hardware is
+// lost, or — once it answers again — book the context re-initialization,
+// re-warm the database and resume hybrid execution.
+func (r *Runner) gpuAdmission(m1 int, earliest sim.Time) (int, bool) {
+	dev := r.el.GPU
+	if dev.Health() == nil || !r.variant.UsesGPU() || !dev.ContextDead(earliest) {
+		return m1, false
+	}
+	if !r.fallback {
+		if m1 > 0 {
+			return 0, true
+		}
+		return m1, false
+	}
+	if dev.AvailableAt(earliest) {
+		// Recovery: rebuild the context, then resume the adaptive loop from
+		// the conservative peak-ratio split. Kernels queue behind the reinit
+		// span automatically; the DMA engine is held back explicitly so no
+		// transfer lands before the context exists.
+		sp := dev.Reinit(earliest)
+		dev.DMA.AdvanceTo(sp.End)
+		r.gpuDown = false
+		if ad, ok := adaptive.AsAdaptive(r.part); ok {
+			ad.G.Rewarm(r.rewarmHalfLife)
+		}
+		if pr := r.probes; pr != nil {
+			pr.tracer.Instant("hybrid.fault", "fault", "gpu.reinit", sp.End)
+		}
+		return m1, false
+	}
+	// Outage: collapse GSplit to 0 and run everything on the cores.
+	if !r.gpuDown {
+		r.gpuDown = true
+		if ad, ok := adaptive.AsAdaptive(r.part); ok {
+			ad.G.Quarantine()
+		}
+		if pr := r.probes; pr != nil {
+			pr.tracer.Instant("hybrid.fault", "fault", "gpu.fallback", earliest)
+		}
+	}
+	return 0, false
 }
 
 // allocRows distributes total rows proportionally to fracs with the largest
@@ -201,6 +275,14 @@ func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix
 	virtual := c == nil
 	work := 2 * float64(m) * float64(n) * float64(k)
 	m1, _ := r.gpuRows(m, work)
+	var stalled bool
+	m1, stalled = r.gpuAdmission(m1, earliest)
+	if stalled {
+		if pr := r.probes; pr != nil {
+			pr.tracer.Instant("hybrid.fault", "fault", "gpu.stall", earliest)
+		}
+		return Report{M: m, N: n, K: k, Work: work, Start: earliest, End: earliest, Stalled: true}
+	}
 	m2 := m - m1
 
 	rep := Report{M: m, N: n, K: k, Work: work, Start: earliest, End: earliest}

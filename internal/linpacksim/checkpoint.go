@@ -1,0 +1,75 @@
+package linpacksim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/sim"
+)
+
+// Checkpoint captures the restartable state of a run between iterations:
+// the loop position, the virtual clock, and the adaptive databases (the
+// factored matrix itself is represented by the loop position — this
+// simulator books time, it does not hold the numbers). Everything else an
+// iteration reads is either immutable configuration or deliberately
+// volatile: the per-core jitter streams are NOT captured, because a
+// restarted element experiences fresh OS noise, not a replay of the old.
+type Checkpoint struct {
+	J          int             `json:"j"`
+	Iterations int             `json:"iterations"`
+	T          sim.Time        `json:"t"`
+	DatabaseG  json.RawMessage `json:"database_g,omitempty"`
+	CSplits    []float64       `json:"csplits,omitempty"`
+}
+
+// Checkpoint captures the current state. Call it only between iterations
+// (after Step returns); mid-iteration state is not restartable, exactly as
+// a real checkpointer must quiesce before writing.
+func (s *Sim) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{J: s.j, Iterations: s.iters, T: s.t}
+	if ad, ok := adaptive.AsAdaptive(s.part); ok {
+		blob, err := json.Marshal(ad.G)
+		if err != nil {
+			panic(fmt.Sprintf("linpacksim: serializing database_g: %v", err))
+		}
+		cp.DatabaseG = blob
+		cp.CSplits = ad.C.Splits()
+	}
+	return cp
+}
+
+// Restore reinstalls a checkpoint taken from this run's Sim: the loop
+// position and clock come back exactly, every resource timeline is reset
+// and advanced to the checkpoint time, and the adaptive databases are
+// restored in place. Restoring a checkpoint and continuing reproduces the
+// uninterrupted run bit-for-bit, because at iteration boundaries no
+// resource is booked past the clock and the jitter streams are only
+// consumed by iterations that no longer run twice in a pure round-trip.
+func (s *Sim) Restore(cp *Checkpoint) error {
+	if cp.J < 0 || cp.J > s.cfg.N {
+		return fmt.Errorf("linpacksim: checkpoint position %d outside [0, %d]", cp.J, s.cfg.N)
+	}
+	if (cp.DatabaseG != nil) != s.cfg.Variant.Adaptive() {
+		return fmt.Errorf("linpacksim: checkpoint and variant %v disagree about adaptive state", s.cfg.Variant)
+	}
+	if cp.DatabaseG != nil {
+		ad, ok := adaptive.AsAdaptive(s.part)
+		if !ok {
+			return fmt.Errorf("linpacksim: adaptive variant without an adaptive partitioner")
+		}
+		if err := ad.G.UnmarshalJSON(cp.DatabaseG); err != nil {
+			return fmt.Errorf("linpacksim: restoring database_g: %w", err)
+		}
+		ad.C.Restore(cp.CSplits)
+	}
+	s.j, s.iters, s.t = cp.J, cp.Iterations, cp.T
+	// Timelines restart idle at the checkpoint time. Busy accounting and
+	// recorded spans from the lost attempt are dropped with the reset —
+	// observers (telemetry) stay attached.
+	s.el.Reset()
+	for _, tl := range s.el.Timelines() {
+		tl.AdvanceTo(cp.T)
+	}
+	return nil
+}

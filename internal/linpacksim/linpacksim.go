@@ -56,6 +56,21 @@ type Config struct {
 	// the adaptive partitioner's GSplit/CSplit series, and live span traces
 	// of every element resource. Nil disables instrumentation.
 	Telemetry *telemetry.Telemetry
+
+	// FailAt injects an element failure at the given virtual time: the run
+	// loses all volatile state when its clock first passes FailAt and
+	// resumes RestartSec later — from the last per-iteration checkpoint
+	// when Checkpoint is set, from iteration zero otherwise. Zero disables
+	// failure injection.
+	FailAt sim.Time
+	// RestartSec is the outage + relaunch time charged on failure; zero
+	// selects DefaultRestartSec.
+	RestartSec sim.Time
+	// Checkpoint enables per-iteration checkpointing: after every iteration
+	// the factored panel is written out (costing the panel's bytes at
+	// CheckpointBandwidth on the critical path) so a failure redoes at most
+	// one iteration.
+	Checkpoint bool
 }
 
 // Result reports one simulated run.
@@ -68,6 +83,12 @@ type Result struct {
 	// Part exposes the partitioner after the run (database_g holds the
 	// adapted splits; Fig. 10 plots its snapshot).
 	Part adaptive.Partitioner
+	// Failures counts injected element failures; RedoneIterations the
+	// iterations lost and re-executed; CheckpointSeconds the total critical-
+	// path time spent writing checkpoints.
+	Failures          int
+	RedoneIterations  int
+	CheckpointSeconds float64
 }
 
 // DefaultNB returns the paper's blocking factor for a variant.
@@ -78,8 +99,40 @@ func DefaultNB(v element.Variant) int {
 	return 196
 }
 
-// Run simulates one Linpack execution and returns its timing.
-func Run(cfg Config) Result {
+// DefaultRestartSec is the outage-plus-relaunch time charged when an
+// injected element failure strikes: node reboot, process relaunch and data
+// reload before the solver resumes.
+const DefaultRestartSec sim.Time = 30.0
+
+// CheckpointBandwidth is the byte rate of the checkpoint device (a node-
+// local store). Each per-iteration checkpoint writes the iteration's
+// factored panel — 8*N*NB bytes — incrementally, not the whole matrix.
+const CheckpointBandwidth = 2e9
+
+// Sim is one Linpack run as a resumable stepper: Step executes one
+// iteration (panel + trailing update), and Checkpoint/Restore capture and
+// reinstall the solver's restartable state between iterations. Run drives
+// it start-to-finish; faultbench drives it with failures injected.
+type Sim struct {
+	cfg    Config
+	nb     int
+	el     *element.Element
+	part   adaptive.Partitioner
+	runner *hybrid.Runner
+
+	j      int // columns factored so far
+	iters  int
+	lastJB int // block width of the last completed iteration
+	t      sim.Time
+
+	failures          int
+	redone            int
+	checkpointSeconds float64
+}
+
+// NewSim builds the element, partitioner and runner for one run, positioned
+// before the first iteration.
+func NewSim(cfg Config) *Sim {
 	nb := cfg.NB
 	if nb <= 0 {
 		nb = DefaultNB(cfg.Variant)
@@ -112,34 +165,112 @@ func Run(cfg Config) Result {
 		runner.Instrument(cfg.Telemetry)
 		el.Instrument(cfg.Telemetry, fmt.Sprintf("%s.N%d", cfg.Variant, cfg.N))
 	}
+	return &Sim{cfg: cfg, nb: nb, el: el, part: part, runner: runner}
+}
 
-	var t sim.Time
-	iters := 0
-	for j := 0; j < cfg.N; j += nb {
-		jb := min(nb, cfg.N-j)
-		trailing := cfg.N - j - jb
-		iters++
+// Done reports whether every column has been factored.
+func (s *Sim) Done() bool { return s.j >= s.cfg.N }
 
-		// Panel factorization of the (trailing+jb) x jb panel plus the U12
-		// triangular solve, both on the host. With look-ahead they overlap
-		// the trailing update of this iteration, so only their excess over
-		// the update lands on the critical path.
-		panelFlops := float64(jb) * float64(jb) * (float64(trailing) + float64(jb)/3)
-		trsmFlops := float64(jb) * float64(jb) * float64(trailing)
-		hostSide := t + panelFlops/(PanelRateGFLOPS*1e9) + trsmFlops/(TrsmRateGFLOPS*1e9)
+// Time returns the run's virtual clock.
+func (s *Sim) Time() sim.Time { return s.t }
 
-		if trailing > 0 {
-			rep := runner.GemmVirtual(trailing, trailing, jb, 1, t)
-			t = rep.End
-		}
-		if hostSide > t {
-			t = hostSide
-		}
+// Iterations returns the number of iterations executed so far (including
+// re-executions after a restore).
+func (s *Sim) Iterations() int { return s.iters }
+
+// Element returns the compute element the run executes on.
+func (s *Sim) Element() *element.Element { return s.el }
+
+// Step executes one Linpack iteration. It panics once Done.
+func (s *Sim) Step() {
+	if s.Done() {
+		panic("linpacksim: step past the last iteration")
 	}
+	j := s.j
+	jb := min(s.nb, s.cfg.N-j)
+	trailing := s.cfg.N - j - jb
+	s.iters++
+
+	// Panel factorization of the (trailing+jb) x jb panel plus the U12
+	// triangular solve, both on the host. With look-ahead they overlap
+	// the trailing update of this iteration, so only their excess over
+	// the update lands on the critical path.
+	panelFlops := float64(jb) * float64(jb) * (float64(trailing) + float64(jb)/3)
+	trsmFlops := float64(jb) * float64(jb) * float64(trailing)
+	hostSide := s.t + panelFlops/(PanelRateGFLOPS*1e9) + trsmFlops/(TrsmRateGFLOPS*1e9)
+
+	if trailing > 0 {
+		rep := s.runner.GemmVirtual(trailing, trailing, jb, 1, s.t)
+		s.t = rep.End
+	}
+	if hostSide > s.t {
+		s.t = hostSide
+	}
+	s.j = j + jb
+	s.lastJB = jb
+}
+
+// Skip advances the run's clock (and every resource) to at least tm without
+// doing work — the failure path uses it to charge the outage and restart.
+func (s *Sim) Skip(tm sim.Time) {
+	if tm <= s.t {
+		return
+	}
+	s.t = tm
+	for _, tl := range s.el.Timelines() {
+		tl.AdvanceTo(tm)
+	}
+}
+
+// Result reports the run so far (normally called once Done).
+func (s *Sim) Result() Result {
 	res := Result{
-		N: cfg.N, NB: nb, Variant: cfg.Variant,
-		Seconds: t, Iterations: iters, Part: part,
+		N: s.cfg.N, NB: s.nb, Variant: s.cfg.Variant,
+		Seconds: s.t, Iterations: s.iters, Part: s.part,
+		Failures:          s.failures,
+		RedoneIterations:  s.redone,
+		CheckpointSeconds: s.checkpointSeconds,
 	}
-	res.GFLOPS = hpl.LinpackFlops(cfg.N) / t / 1e9
+	res.GFLOPS = hpl.LinpackFlops(s.cfg.N) / s.t / 1e9
 	return res
+}
+
+// Run simulates one Linpack execution and returns its timing. With FailAt
+// set, an element failure strikes when the clock first passes it: the run
+// restores from the last checkpoint (Checkpoint true) or restarts from
+// iteration zero, resumes RestartSec after the failure, and the lost
+// iterations are re-executed.
+func Run(cfg Config) Result {
+	s := NewSim(cfg)
+	restart := cfg.RestartSec
+	if restart <= 0 {
+		restart = DefaultRestartSec
+	}
+	cp := s.Checkpoint() // the empty initial state — scratch restarts use it
+	failed := false
+	for !s.Done() {
+		s.Step()
+		if cfg.FailAt > 0 && !failed && s.t > cfg.FailAt {
+			// The element died at FailAt; everything past the last
+			// checkpoint is lost, including the iteration just simulated.
+			failed = true
+			lost := s.iters
+			if err := s.Restore(cp); err != nil {
+				panic(fmt.Sprintf("linpacksim: failover restore: %v", err))
+			}
+			s.failures++
+			s.redone += lost - s.iters
+			s.Skip(cfg.FailAt + restart)
+			continue
+		}
+		if cfg.Checkpoint && !s.Done() {
+			// The incremental checkpoint (this iteration's factored panel)
+			// is written out before the next panel starts.
+			sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
+			s.checkpointSeconds += sec
+			s.Skip(s.t + sec)
+			cp = s.Checkpoint()
+		}
+	}
+	return s.Result()
 }

@@ -24,11 +24,34 @@ type message struct {
 	arrival  sim.Time
 }
 
+// LinkFault is the fault-injection view of the fabric: given a message's
+// endpoints, size and send time plus the healthy-model duration, it returns
+// the perturbed duration and whether this transmission attempt is lost.
+// Implementations must be deterministic per sender rank — each rank's
+// goroutine queries its own send sequence in program order, so per-sender
+// random streams keep the whole world reproducible under concurrency.
+type LinkFault interface {
+	AdjustMessage(src, dst int, bytes int64, sendAt, healthy sim.Time) (dur sim.Time, dropped bool)
+}
+
+// Retry defaults: a dropped message is retransmitted after the attempt's
+// wire time plus a timeout that doubles per attempt, and the transport gives
+// a message DefaultMaxSendAttempts transmissions before the link layer's
+// own retransmission is assumed to get it through (the bound exists so a
+// scenario cannot wedge the simulation — delivery is eventual, only late).
+const (
+	DefaultRetryTimeout    sim.Time = 250e-6
+	DefaultMaxSendAttempts          = 6
+)
+
 // World is one communicator universe of size ranks.
 type World struct {
 	size            int
 	net             perfmodel.Network
 	ranksPerCabinet int
+	fault           LinkFault // nil: healthy fabric (the fast path)
+	retryTimeout    sim.Time
+	maxAttempts     int
 	probes          *worldProbes // nil when telemetry is disabled
 
 	mu     sync.Mutex
@@ -41,11 +64,12 @@ type World struct {
 // All ranks share them (atomics), so the per-message cost is a few atomic
 // adds.
 type worldProbes struct {
-	msgs, recvs *telemetry.Counter
-	bytes       *telemetry.Counter
-	waitSec     *telemetry.Gauge // accumulated receive wait, virtual seconds
-	sizes       *telemetry.Histogram
-	tracer      *telemetry.Tracer
+	msgs, recvs    *telemetry.Counter
+	bytes          *telemetry.Counter
+	drops, retries *telemetry.Counter // fault-injected losses and resends
+	waitSec        *telemetry.Gauge   // accumulated receive wait, virtual seconds
+	sizes          *telemetry.Histogram
+	tracer         *telemetry.Tracer
 }
 
 // msgSizeBuckets grade payload bytes from latency-bound to bandwidth-bound.
@@ -62,6 +86,8 @@ func newWorldProbes(tel *telemetry.Telemetry, label string) *worldProbes {
 		msgs:    tel.Counter(label + ".msgs_sent"),
 		recvs:   tel.Counter(label + ".msgs_recv"),
 		bytes:   tel.Counter(label + ".bytes_sent"),
+		drops:   tel.Counter(label + ".msgs_dropped"),
+		retries: tel.Counter(label + ".msgs_retried"),
 		waitSec: tel.Gauge(label + ".recv_wait_seconds"),
 		sizes:   tel.Histogram(label+".msg_bytes", msgSizeBuckets),
 		tracer:  tel.Trace,
@@ -92,6 +118,16 @@ type Config struct {
 	// Label prefixes the communicator's metric names, so several worlds in
 	// one process stay distinguishable; empty selects "mpi".
 	Label string
+	// LinkFault perturbs per-message delivery for fault injection; nil (the
+	// default) keeps the fabric healthy with no per-message overhead.
+	LinkFault LinkFault
+	// RetryTimeout is the base retransmission timeout after a dropped
+	// message; it doubles on every further attempt. Zero selects
+	// DefaultRetryTimeout.
+	RetryTimeout sim.Time
+	// MaxSendAttempts bounds transmissions per message (the last one always
+	// delivers). Zero selects DefaultMaxSendAttempts.
+	MaxSendAttempts int
 }
 
 // NewWorld builds a communicator universe.
@@ -102,10 +138,19 @@ func NewWorld(cfg Config) *World {
 	if cfg.Network == (perfmodel.Network{}) {
 		cfg.Network = perfmodel.DefaultNetwork()
 	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	if cfg.MaxSendAttempts <= 0 {
+		cfg.MaxSendAttempts = DefaultMaxSendAttempts
+	}
 	w := &World{
 		size:            cfg.Size,
 		net:             cfg.Network,
 		ranksPerCabinet: cfg.RanksPerCabinet,
+		fault:           cfg.LinkFault,
+		retryTimeout:    cfg.RetryTimeout,
+		maxAttempts:     cfg.MaxSendAttempts,
 		probes:          newWorldProbes(cfg.Telemetry, cfg.Label),
 		queues:          make(map[int]*rankQueue, cfg.Size),
 	}
@@ -172,21 +217,46 @@ func (c *Comm) Sync(t sim.Time) { c.clock.Sync(t) }
 // Send transfers data to dst with the given tag. The payload is copied, so
 // the caller may reuse its buffer. Virtual cost: the sender pays the
 // injection time; the message arrives at send time plus the network model's
-// latency and serialization time.
+// latency and serialization time. Under an injected LinkFault a dropped
+// transmission costs the sender the wire time plus a retransmission timeout
+// that doubles per attempt (bounded exponential backoff, all in virtual
+// time); after MaxSendAttempts transmissions the message is delivered
+// regardless — link-level delivery is eventual, only late.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst == c.rank {
 		panic("mpi: send to self")
 	}
 	bytes := int64(8 * len(data))
-	dur := c.world.net.Seconds(bytes, c.world.crossCabinet(c.rank, dst))
-	// Sender-side injection: the rank is busy for the serialization part.
+	healthy := c.world.net.Seconds(bytes, c.world.crossCabinet(c.rank, dst))
 	sendAt := c.clock.Now()
+	dur := healthy
+	attempts := 1
+	if f := c.world.fault; f != nil {
+		for {
+			d, dropped := f.AdjustMessage(c.rank, dst, bytes, c.clock.Now(), healthy)
+			dur = d
+			if !dropped || attempts >= c.world.maxAttempts {
+				break
+			}
+			// The lost attempt occupies the wire, then the sender waits out
+			// the (doubling) retransmission timeout before trying again.
+			backoff := c.world.retryTimeout * sim.Time(int(1)<<(attempts-1))
+			c.clock.Advance(dur + backoff)
+			attempts++
+			if pr := c.world.probes; pr != nil {
+				pr.drops.Inc()
+				pr.tracer.Instant(c.track, "fault", "mpi.drop", c.clock.Now())
+			}
+		}
+	}
+	// Sender-side injection: the rank is busy for the serialization part.
+	launchAt := c.clock.Now()
 	c.clock.Advance(dur)
 	msg := message{
 		src:     c.rank,
 		tag:     tag,
 		data:    append([]float64(nil), data...),
-		arrival: sendAt + dur,
+		arrival: launchAt + dur,
 	}
 	q := c.world.queues[dst]
 	q.mu.Lock()
@@ -197,7 +267,10 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		pr.msgs.Inc()
 		pr.bytes.Add(bytes)
 		pr.sizes.Observe(float64(bytes))
-		pr.tracer.Span(c.track, "mpi", "send", sendAt, sendAt+dur)
+		if attempts > 1 {
+			pr.retries.Add(int64(attempts - 1))
+		}
+		pr.tracer.Span(c.track, "mpi", "send", sendAt, launchAt+dur)
 	}
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestStretchHookLengthensBookings(t *testing.T) {
+	tl := NewTimeline("q")
+	tl.SetStretch(func(label string, start, dur Time) Time {
+		if label == "gemm" {
+			return dur + 2
+		}
+		return dur
+	})
+	sp := tl.Book("gemm", 0, 3)
+	if got := sp.End - sp.Start; got != 5 {
+		t.Fatalf("stretched duration %v, want 5", got)
+	}
+	sp = tl.Book("up", 0, 3)
+	if got := sp.End - sp.Start; got != 3 {
+		t.Fatalf("unstretched label changed: %v", got)
+	}
+	// The hook sees the resolved start (after queueing), not the request.
+	var sawStart Time
+	tl2 := NewTimeline("q2")
+	tl2.Book("a", 0, 4)
+	tl2.SetStretch(func(label string, start, dur Time) Time {
+		sawStart = start
+		return dur
+	})
+	tl2.Book("b", 1, 2)
+	if sawStart != 4 {
+		t.Fatalf("hook saw start %v, want 4 (queued behind the first op)", sawStart)
+	}
+}
+
+func TestStretchHookMayOnlyLengthen(t *testing.T) {
+	tl := NewTimeline("q")
+	tl.SetStretch(func(label string, start, dur Time) Time { return dur / 2 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shortening stretch hook accepted")
+		}
+	}()
+	tl.Book("gemm", 0, 3)
+}
+
+func TestStretchSurvivesReset(t *testing.T) {
+	tl := NewTimeline("q")
+	tl.SetStretch(func(label string, start, dur Time) Time { return dur * 2 })
+	tl.Book("a", 0, 1)
+	tl.Reset()
+	sp := tl.Book("a", 0, 1)
+	if got := sp.End - sp.Start; got != 2 {
+		t.Fatalf("stretch lost across Reset: duration %v", got)
+	}
+}

@@ -38,6 +38,7 @@ type Timeline struct {
 	spans    []Span
 	record   bool
 	observer func(Span)
+	stretch  func(label string, start, duration Time) Time
 }
 
 // NewTimeline returns an empty resource timeline available at time 0.
@@ -67,6 +68,21 @@ func (t *Timeline) SetObserver(obs func(Span)) {
 	t.observer = obs
 }
 
+// SetStretch installs a duration hook consulted on every booking: given the
+// operation's label, resolved start time and model duration, it returns the
+// duration actually booked. Fault injection uses this to model stall spans
+// (ECC scrubs, SMI storms) that freeze a resource mid-operation. The hook
+// may only lengthen an operation — returning less than the model duration
+// panics, because a "fault" that speeds hardware up is always a bug in the
+// scenario. A nil hook (the default) books model durations unchanged and
+// costs one nil check. The hook runs under the timeline's lock and must not
+// book on any timeline.
+func (t *Timeline) SetStretch(hook func(label string, start, duration Time) Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stretch = hook
+}
+
 // Available returns the earliest time a new operation could start.
 func (t *Timeline) Available() Time {
 	t.mu.Lock()
@@ -85,6 +101,14 @@ func (t *Timeline) Book(label string, earliest Time, duration Time) Span {
 	start := t.avail
 	if earliest > start {
 		start = earliest
+	}
+	if t.stretch != nil {
+		stretched := t.stretch(label, start, duration)
+		if stretched < duration {
+			t.mu.Unlock()
+			panic(fmt.Sprintf("sim: stretch hook shortened %q from %v to %v", label, duration, stretched))
+		}
+		duration = stretched
 	}
 	sp := Span{Label: label, Start: start, End: start + duration}
 	t.avail = sp.End

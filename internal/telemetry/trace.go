@@ -226,11 +226,11 @@ func quote(s string) string {
 
 // chromeEvent is the decoded wire form of one trace event.
 type chromeEvent struct {
-	Ph   string             `json:"ph"`
-	Pid  int                `json:"pid"`
-	Tid  int                `json:"tid"`
-	Ts   float64            `json:"ts"`
-	Dur  float64            `json:"dur"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Args map[string]any `json:"args,omitempty"` // string for metadata, number for counters
