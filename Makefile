@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench faultgolden
+.PHONY: check build test vet lint fuzz bench faultgolden parbench
 
 check:
 	./scripts/check.sh
@@ -38,3 +38,9 @@ fuzz:
 
 bench:
 	go test -run xxx -bench . -benchtime 10x .
+
+# parbench measures the parallel sweep runner: faultbench and scalebench at
+# -par 1 vs -par 8 (override with PAR=n), asserting byte-identical output
+# and reporting wall-clock speedups together with the host's core count.
+parbench:
+	./scripts/parbench.sh

@@ -86,7 +86,7 @@ func BenchmarkFig11CabinetPolicies(b *testing.B) {
 		b.Run(pol, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				ours, qilin := experiments.Fig11(experiments.DefaultSeed, []int{64})
+				ours, qilin := experiments.Fig11(experiments.DefaultSeed, []int{64}, 1)
 				if pol == "adaptive" {
 					last, _ = ours.Y(64)
 				} else {
@@ -109,7 +109,7 @@ func BenchmarkFig12CabinetScaling(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				s := experiments.Fig12(experiments.DefaultSeed, []int{cab})
+				s := experiments.Fig12(experiments.DefaultSeed, []int{cab}, 1)
 				last, _ = s.Y(float64(cab))
 			}
 			b.ReportMetric(last, "vTFLOPS")
@@ -123,7 +123,7 @@ func BenchmarkFig12CabinetScaling(b *testing.B) {
 func BenchmarkFig13FullMachineProgress(b *testing.B) {
 	var last float64
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Fig13(experiments.DefaultSeed)
+		pts := experiments.Fig13(experiments.DefaultSeed, 1)
 		last = pts[len(pts)-1].CumTFLOPS
 	}
 	b.ReportMetric(last, "vTFLOPS")

@@ -12,14 +12,17 @@ import (
 	"tianhe/internal/bench"
 	"tianhe/internal/experiments"
 	"tianhe/internal/perfmodel"
+	"tianhe/internal/sweep"
 )
 
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	parFlag := flag.Int("par", 0, "worker count for the sweeps (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
+	par := sweep.Workers(*parFlag)
 
 	fmt.Println("Ablation 1 — task ordering (16384x16384x4096 DGEMM, reuse machinery off/on)")
-	gb, sec := experiments.AblationOrdering(16384, 16384, 4096)
+	gb, sec := experiments.AblationOrdering(16384, 16384, 4096, par)
 	for i, name := range []string{"row-major, no cache", "bounce corner turn + cache"} {
 		g, _ := gb.Y(float64(i))
 		s, _ := sec.Y(float64(i))
@@ -27,23 +30,23 @@ func main() {
 	}
 
 	fmt.Println("\nAblation 2 — EO block height H (Fig. 6 double buffers)")
-	bench.Table(os.Stdout, "H rows", "GFLOPS", experiments.AblationBlockRows(nil))
+	bench.Table(os.Stdout, "H rows", "GFLOPS", experiments.AblationBlockRows(nil, par))
 
 	fmt.Println("\nAblation 3 — database_g bucket count J (Section IV.B)")
-	bench.Table(os.Stdout, "J buckets", "GFLOPS", experiments.AblationBuckets(nil, *seed))
+	bench.Table(os.Stdout, "J buckets", "GFLOPS", experiments.AblationBuckets(nil, *seed, par))
 
 	fmt.Println("\nAblation 4 — CPU-GPU staging strategy (Section V.A)")
-	st := experiments.AblationStaging(*seed)
+	st := experiments.AblationStaging(*seed, par)
 	for i, label := range experiments.StagingLabels {
 		v, _ := st.Y(float64(i))
 		fmt.Printf("  %-30s %8.1f GFLOPS\n", label, v)
 	}
 
 	fmt.Println("\nAblation 5 — task tile extent")
-	bench.Table(os.Stdout, "tile", "GFLOPS", experiments.AblationTile(nil))
+	bench.Table(os.Stdout, "tile", "GFLOPS", experiments.AblationTile(nil, par))
 
 	fmt.Println("\nAblation 6 — Linpack blocking factor NB (paper chose 1216)")
-	bench.Table(os.Stdout, "NB", "GFLOPS", experiments.AblationNB(nil, *seed))
+	bench.Table(os.Stdout, "NB", "GFLOPS", experiments.AblationNB(nil, *seed, par))
 
 	fmt.Println("\nAblation 7 — value of the second mapping level (database_c, Section IV.A)")
 	for _, xeon := range []perfmodel.Xeon{perfmodel.XeonE5540, perfmodel.XeonE5450} {

@@ -13,15 +13,17 @@ import (
 	"tianhe/internal/bench"
 	"tianhe/internal/experiments"
 	"tianhe/internal/perfmodel"
+	"tianhe/internal/sweep"
 )
 
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	par := flag.Int("par", 0, "worker count for the process-count sweep (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	fmt.Println("Figure 11 — performance by number of processes within a single cabinet")
 	fmt.Println()
-	ours, qilin := experiments.Fig11(*seed, nil)
+	ours, qilin := experiments.Fig11(*seed, nil, sweep.Workers(*par))
 	bench.Table(os.Stdout, "processes", "GFLOPS", ours, qilin)
 	fmt.Println()
 

@@ -16,6 +16,7 @@ import (
 
 	"tianhe/internal/bench"
 	"tianhe/internal/experiments"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: the Figure 8 sweep)")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the sweep to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the sweep")
+	par := flag.Int("par", 0, "worker count for the sweep (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	var sizes []int
@@ -45,7 +47,7 @@ func main() {
 
 	fmt.Println("Figure 8 — DGEMM performance by matrix size (single compute element)")
 	fmt.Println()
-	series := experiments.Fig8Instrumented(*seed, sizes, tel)
+	series := experiments.Fig8Instrumented(*seed, sizes, tel, sweep.Workers(*par))
 	bench.Table(os.Stdout, "N", "GFLOPS", series...)
 	fmt.Println()
 

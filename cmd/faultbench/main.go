@@ -6,18 +6,25 @@
 // adaptive runtime recovers to >= 90% of its healthy steady state after the
 // device returns, while the static and offline-trained policies stall on
 // the dead context and never finish. All runs are bit-reproducible for a
-// fixed -seed. -trace writes Chrome trace-event JSON (fault windows appear
-// as spans on the "fault" track); -metrics dumps the telemetry registry.
+// fixed -seed and any -par: scenarios run concurrently into isolated
+// telemetry bundles and per-scenario output buffers, both emitted in
+// scenario order. -trace writes Chrome trace-event JSON (fault windows
+// appear as spans on the "fault" track); -metrics dumps the telemetry
+// registry.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"tianhe/internal/experiments"
 	"tianhe/internal/fault"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 )
 
@@ -29,7 +36,9 @@ func main() {
 	linpackN := flag.Int("linpack-n", 19456, "Linpack problem size for the element-fail scenario")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the runs")
+	parFlag := flag.Int("par", 0, "worker count (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
+	par := sweep.Workers(*parFlag)
 
 	var tel *telemetry.Telemetry
 	if *tracePath != "" || *metrics {
@@ -40,14 +49,27 @@ func main() {
 	if *scenario != "all" {
 		scenarios = []string{*scenario}
 	}
-	for i, sc := range scenarios {
+	// Scenarios are independent runs: fan them out, buffer each scenario's
+	// report, and print the buffers in scenario order.
+	type report struct {
+		text string
+		err  error
+	}
+	reports := sweep.MapTel(context.Background(), par, tel, scenarios,
+		func(_ int, sc string, tel *telemetry.Telemetry) report {
+			var buf bytes.Buffer
+			err := runScenario(&buf, sc, *seed, *n, *ops, *linpackN, tel, par)
+			return report{text: buf.String(), err: err}
+		})
+	for i, r := range reports {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: %v\n", r.err)
+			os.Exit(1)
+		}
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := runScenario(sc, *seed, *n, *ops, *linpackN, tel); err != nil {
-			fmt.Fprintf(os.Stderr, "faultbench: %v\n", err)
-			os.Exit(1)
-		}
+		fmt.Print(r.text)
 	}
 
 	if *tracePath != "" {
@@ -71,27 +93,27 @@ func main() {
 	}
 }
 
-func runScenario(sc string, seed uint64, n, ops, linpackN int, tel *telemetry.Telemetry) error {
+func runScenario(w io.Writer, sc string, seed uint64, n, ops, linpackN int, tel *telemetry.Telemetry, par int) error {
 	switch sc {
 	case "flaky-net":
-		return netStorm(seed, tel)
+		return netStorm(w, seed, tel)
 	case "element-fail":
-		failover(seed, linpackN, tel)
+		failover(w, seed, linpackN, tel, par)
 		return nil
 	default:
-		return sweep(sc, seed, n, ops, tel)
+		return policySweep(w, sc, seed, n, ops, tel, par)
 	}
 }
 
-func sweep(sc string, seed uint64, n, ops int, tel *telemetry.Telemetry) error {
-	cells, err := experiments.FaultSweep(sc, seed, n, ops, tel)
+func policySweep(w io.Writer, sc string, seed uint64, n, ops int, tel *telemetry.Telemetry, par int) error {
+	cells, err := experiments.FaultSweep(sc, seed, n, ops, tel, par)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %-13s (N=%d, %d ops, seed %d)\n", sc, n, ops, seed)
-	fmt.Printf("  %-14s %10s %10s %9s %9s %11s %9s\n",
+	fmt.Fprintf(w, "scenario %-13s (N=%d, %d ops, seed %d)\n", sc, n, ops, seed)
+	fmt.Fprintf(w, "  %-14s %10s %10s %9s %9s %11s %9s\n",
 		"policy", "healthy", "steady", "delta", "trough", "recovery", "ops")
-	fmt.Printf("  %-14s %10s %10s %9s %9s %11s %9s\n",
+	fmt.Fprintf(w, "  %-14s %10s %10s %9s %9s %11s %9s\n",
 		"", "GFLOPS", "GFLOPS", "%", "GFLOPS", "s", "done")
 	for _, c := range cells {
 		delta := 0.0
@@ -108,64 +130,64 @@ func sweep(sc string, seed uint64, n, ops int, tel *telemetry.Telemetry) error {
 			recovery = "never"
 		}
 		opsCol := fmt.Sprintf("%d/%d", c.OpsDone, c.OpsTotal)
-		fmt.Printf("  %-14s %10.1f %10.1f %+8.1f%% %9.1f %11s %9s\n",
+		fmt.Fprintf(w, "  %-14s %10.1f %10.1f %+8.1f%% %9.1f %11s %9s\n",
 			c.Policy, c.HealthySS, c.SteadySS, delta, c.TroughOp, recovery, opsCol)
 	}
 	switch sc {
 	case "healthy":
 		for _, c := range cells {
 			if c.Policy == "adaptive" {
-				fmt.Printf("  hook overhead with an empty injector attached: %+.3f%% virtual time\n", c.OverheadPct)
+				fmt.Fprintf(w, "  hook overhead with an empty injector attached: %+.3f%% virtual time\n", c.OverheadPct)
 			}
 		}
 	case "lost-gpu":
-		fmt.Println()
-		verdict(cells)
+		fmt.Fprintln(w)
+		verdict(w, cells)
 	}
 	return nil
 }
 
 // verdict prints the acceptance condition for the lost-gpu scenario.
-func verdict(cells []experiments.FaultCell) {
+func verdict(w io.Writer, cells []experiments.FaultCell) {
 	for _, c := range cells {
 		switch c.Policy {
 		case "adaptive":
 			ok := !c.Stalled && c.SteadySS >= experiments.RecoveryThreshold*c.HealthySS && c.RecoverySec >= 0
-			fmt.Printf("  adaptive recovered to >=%.0f%% of healthy steady state after restore: %v (%.1f%% in %.3f s)\n",
+			fmt.Fprintf(w, "  adaptive recovered to >=%.0f%% of healthy steady state after restore: %v (%.1f%% in %.3f s)\n",
 				100*experiments.RecoveryThreshold, ok, 100*c.SteadySS/c.HealthySS, c.RecoverySec)
 		case "static", "qilin-trained":
 			if c.Stalled {
-				fmt.Printf("  %s did not recover: stalled at %.3f s — context lost, runtime not fault-aware (%d/%d ops)\n",
+				fmt.Fprintf(w, "  %s did not recover: stalled at %.3f s — context lost, runtime not fault-aware (%d/%d ops)\n",
 					c.Policy, c.StallAtSec, c.OpsDone, c.OpsTotal)
 			} else {
-				fmt.Printf("  %s unexpectedly survived the outage\n", c.Policy)
+				fmt.Fprintf(w, "  %s unexpectedly survived the outage\n", c.Policy)
 			}
 		}
 	}
 }
 
-func netStorm(seed uint64, tel *telemetry.Telemetry) error {
+func netStorm(w io.Writer, seed uint64, tel *telemetry.Telemetry) error {
 	res, err := experiments.NetStorm(seed, 16, 12, tel)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %-13s (%d ranks, %d collective rounds, seed %d)\n",
+	fmt.Fprintf(w, "scenario %-13s (%d ranks, %d collective rounds, seed %d)\n",
 		"flaky-net", res.Ranks, res.Rounds, seed)
-	fmt.Printf("  healthy fabric:   %12.6f s\n", res.HealthySeconds)
-	fmt.Printf("  flaky fabric:     %12.6f s  (%+.1f%%)\n", res.FaultSeconds, res.SlowdownPct)
-	fmt.Printf("  drops: %d, retries: %d — every loss recovered by bounded exponential backoff\n",
+	fmt.Fprintf(w, "  healthy fabric:   %12.6f s\n", res.HealthySeconds)
+	fmt.Fprintf(w, "  flaky fabric:     %12.6f s  (%+.1f%%)\n", res.FaultSeconds, res.SlowdownPct)
+	fmt.Fprintf(w, "  drops: %d, retries: %d — every loss recovered by bounded exponential backoff\n",
 		res.Drops, res.Retries)
 	return nil
 }
 
-func failover(seed uint64, n int, tel *telemetry.Telemetry) {
-	res := experiments.Failover(seed, n, tel)
-	fmt.Printf("scenario %-13s (Linpack N=%d, failure at 50%% of healthy makespan, seed %d)\n",
+func failover(w io.Writer, seed uint64, n int, tel *telemetry.Telemetry, par int) {
+	res := experiments.Failover(seed, n, tel, par)
+	fmt.Fprintf(w, "scenario %-13s (Linpack N=%d, failure at 50%% of healthy makespan, seed %d)\n",
 		"element-fail", res.N, seed)
-	fmt.Printf("  healthy:          %10.3f s  %8.1f GFLOPS\n", res.Healthy.Seconds, res.Healthy.GFLOPS)
-	fmt.Printf("  scratch restart:  %10.3f s  %8.1f GFLOPS  (%+.1f%%, redid %d iterations)\n",
+	fmt.Fprintf(w, "  healthy:          %10.3f s  %8.1f GFLOPS\n", res.Healthy.Seconds, res.Healthy.GFLOPS)
+	fmt.Fprintf(w, "  scratch restart:  %10.3f s  %8.1f GFLOPS  (%+.1f%%, redid %d iterations)\n",
 		res.Scratch.Seconds, res.Scratch.GFLOPS, res.ScratchPct, res.Scratch.RedoneIterations)
-	fmt.Printf("  checkpointed:     %10.3f s  %8.1f GFLOPS  (%+.1f%%, redid %d, wrote %.3f s of checkpoints)\n",
+	fmt.Fprintf(w, "  checkpointed:     %10.3f s  %8.1f GFLOPS  (%+.1f%%, redid %d, wrote %.3f s of checkpoints)\n",
 		res.Checkpointed.Seconds, res.Checkpointed.GFLOPS, res.CheckpointPct,
 		res.Checkpointed.RedoneIterations, res.Checkpointed.CheckpointSeconds)
 }

@@ -19,7 +19,7 @@ const (
 // empty injector attached to every hook, virtual time must not move at all
 // relative to the hookless reference.
 func TestHealthyScenarioHasZeroHookOverhead(t *testing.T) {
-	cells, err := experiments.FaultSweep("healthy", goldenSeed, goldenN, goldenOps, nil)
+	cells, err := experiments.FaultSweep("healthy", goldenSeed, goldenN, goldenOps, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestHealthyScenarioHasZeroHookOverhead(t *testing.T) {
 // the dead context.
 func TestLostGPUAcceptance(t *testing.T) {
 	tel := telemetry.New()
-	cells, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, tel)
+	cells, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, tel, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +99,11 @@ func TestLostGPUAcceptance(t *testing.T) {
 // TestSweepIsDeterministic: identical seeds must reproduce every metric
 // bit for bit, fault schedule and all.
 func TestSweepIsDeterministic(t *testing.T) {
-	a, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil)
+	a, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil)
+	b, err := experiments.FaultSweep("lost-gpu", goldenSeed, goldenN, goldenOps, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestNetStormDeterministicAndRecovered(t *testing.T) {
 }
 
 func TestFailoverCheckpointWins(t *testing.T) {
-	res := experiments.Failover(goldenSeed, 9728, nil)
+	res := experiments.Failover(goldenSeed, 9728, nil, 1)
 	if res.Scratch.Failures != 1 || res.Checkpointed.Failures != 1 {
 		t.Fatalf("failures: scratch %d ckpt %d", res.Scratch.Failures, res.Checkpointed.Failures)
 	}

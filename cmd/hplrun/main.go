@@ -12,6 +12,7 @@ import (
 
 	"tianhe"
 	"tianhe/internal/hpl"
+	"tianhe/internal/sweep"
 )
 
 func main() {
@@ -23,7 +24,9 @@ func main() {
 	refine := flag.Bool("refine", false, "apply iterative refinement and report the condition estimate (serial runs)")
 	gridP := flag.Int("p", 0, "process grid rows: with -q, run the 2D block-cyclic solver with look-ahead")
 	gridQ := flag.Int("q", 0, "process grid columns (see -p)")
+	parFlag := flag.Int("par", 0, "DGEMM worker count (<=0: GOMAXPROCS); results are identical for every value")
 	flag.Parse()
+	par := sweep.Workers(*parFlag)
 
 	if *gridP > 0 && *gridQ > 0 {
 		v := lookupVariant(*variant)
@@ -44,10 +47,10 @@ func main() {
 
 	if *ranks <= 1 {
 		if *refine {
-			refinedRun(*n, *nb, *seed)
+			refinedRun(*n, *nb, *seed, par)
 			return
 		}
-		res, err := tianhe.RunLinpack(*n, *seed, tianhe.LinpackOptions{NB: *nb, Workers: 4})
+		res, err := tianhe.RunLinpack(*n, *seed, tianhe.LinpackOptions{NB: *nb, Workers: par})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hplrun:", err)
 			os.Exit(1)
@@ -89,11 +92,11 @@ func lookupVariant(name string) tianhe.Variant {
 
 // refinedRun solves, refines the solution with the LU factors, and reports
 // the condition estimate alongside the residuals.
-func refinedRun(n, nb int, seed uint64) {
+func refinedRun(n, nb int, seed uint64, par int) {
 	a, b := hpl.Generate(n, seed)
 	lu := a.Clone()
 	ipiv := make([]int, n)
-	if err := hpl.Dgetrf(lu, ipiv, hpl.Options{NB: nb, Workers: 4}); err != nil {
+	if err := hpl.Dgetrf(lu, ipiv, hpl.Options{NB: nb, Workers: par}); err != nil {
 		fmt.Fprintln(os.Stderr, "hplrun:", err)
 		os.Exit(1)
 	}

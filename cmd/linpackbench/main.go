@@ -19,6 +19,7 @@ import (
 	"tianhe/internal/experiments"
 	"tianhe/internal/linpacksim"
 	"tianhe/internal/perfmodel"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	dbFile := flag.String("db", "", "persist database_g across runs: load it before an ACMLG+both run at -n and save the adapted state back (the paper's cross-run workflow)")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run(s) to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the run(s)")
+	par := flag.Int("par", 0, "worker count for the Figure 9 sweep (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	var tel *telemetry.Telemetry
@@ -42,7 +44,7 @@ func main() {
 	case *splits:
 		fig10(*seed, *n, tel)
 	default:
-		fig9(*seed, tel)
+		fig9(*seed, tel, sweep.Workers(*par))
 	}
 
 	if *tracePath != "" {
@@ -66,10 +68,10 @@ func main() {
 	}
 }
 
-func fig9(seed uint64, tel *telemetry.Telemetry) {
+func fig9(seed uint64, tel *telemetry.Telemetry, par int) {
 	fmt.Println("Figure 9 — Linpack performance by problem size (single compute element)")
 	fmt.Println()
-	series := experiments.Fig9Instrumented(seed, nil, tel)
+	series := experiments.Fig9Instrumented(seed, nil, tel, par)
 	bench.Table(os.Stdout, "N", "GFLOPS", series...)
 	fmt.Println()
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"tianhe/internal/gpu"
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/pipeline"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 	"tianhe/internal/trace"
 )
@@ -26,6 +28,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "also print the virtual-time ASCII resource trace")
 	tracePath := flag.String("trace", "", "write the Table I CT/NT schedule and the resource trace as Chrome trace-event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the run")
+	par := flag.Int("par", 0, "worker count for the baseline/pipelined pair (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	var tel *telemetry.Telemetry
@@ -47,7 +50,7 @@ func main() {
 	pipeline.TraceSchedule(tel.Tracer(), rows)
 
 	if *gantt || tel.Enabled() {
-		runTraces(*m, *n, *k, *tile, *gantt, tel)
+		runTraces(*m, *n, *k, *tile, *gantt, tel, sweep.Workers(*par))
 	}
 
 	if *tracePath != "" {
@@ -75,35 +78,45 @@ func main() {
 
 // runTraces executes the baseline and the full Section V pipeline on virtual
 // devices, streaming bookings into the telemetry tracer and printing the
-// ASCII charts when asked.
-func runTraces(m, n, k, tile int, gantt bool, tel *telemetry.Telemetry) {
-	if gantt {
-		fmt.Println()
-		fmt.Println("Virtual-time resource schedule, baseline (no pipelining):")
+// ASCII charts when asked. The two executions are independent simulated
+// devices; they run on par workers, and the charts print afterwards in the
+// baseline-then-pipelined order of the serial tool.
+func runTraces(m, n, k, tile int, gantt bool, tel *telemetry.Telemetry, par int) {
+	type side struct {
+		dev *gpu.Device
+		rep pipeline.Report
 	}
-	base := gpu.New(gpu.Config{Virtual: true})
-	telemetry.AttachTimelines(tel, "resource", "baseline/", base.DMA, base.Queue)
-	pipeline.NewExecutor(base, pipeline.Options{Tile: tile, BlockRows: 2048}).
-		ExecuteVirtual(m, n, k, 1, 0)
-	if gantt {
-		fmt.Print(trace.Gantt{Width: 88}.Render(base.DMA, base.Queue))
-		fmt.Print(trace.Utilization(base.DMA, base.Queue))
+	sides := sweep.MapTel(context.Background(), par, tel, []bool{false, true},
+		func(_ int, pipelined bool, tel *telemetry.Telemetry) side {
+			dev := gpu.New(gpu.Config{Virtual: true})
+			if !pipelined {
+				telemetry.AttachTimelines(tel, "resource", "baseline/", dev.DMA, dev.Queue)
+				rep := pipeline.NewExecutor(dev, pipeline.Options{Tile: tile, BlockRows: 2048}).
+					ExecuteVirtual(m, n, k, 1, 0)
+				return side{dev: dev, rep: rep}
+			}
+			telemetry.AttachTimelines(tel, "resource", "pipelined/", dev.DMA, dev.Queue)
+			exec := pipeline.NewExecutor(dev, pipeline.Options{
+				Reuse: true, OverlapInput: true, BlockedEO: true, Tile: tile, BlockRows: 2048,
+				Telemetry: tel,
+			})
+			return side{dev: dev, rep: exec.ExecuteVirtual(m, n, k, 1, 0)}
+		})
+	if !gantt {
+		return
+	}
+	base, piped := sides[0], sides[1]
+	fmt.Println()
+	fmt.Println("Virtual-time resource schedule, baseline (no pipelining):")
+	fmt.Print(trace.Gantt{Width: 88}.Render(base.dev.DMA, base.dev.Queue))
+	fmt.Print(trace.Utilization(base.dev.DMA, base.dev.Queue))
 
-		fmt.Println()
-		fmt.Println("Virtual-time resource schedule, full Section V pipeline:")
-	}
-	dev := gpu.New(gpu.Config{Virtual: true})
-	telemetry.AttachTimelines(tel, "resource", "pipelined/", dev.DMA, dev.Queue)
-	exec := pipeline.NewExecutor(dev, pipeline.Options{
-		Reuse: true, OverlapInput: true, BlockedEO: true, Tile: tile, BlockRows: 2048,
-		Telemetry: tel,
-	})
-	rep := exec.ExecuteVirtual(m, n, k, 1, 0)
-	if gantt {
-		fmt.Print(trace.Gantt{Width: 88}.Render(dev.DMA, dev.Queue))
-		fmt.Print(trace.Utilization(dev.DMA, dev.Queue))
-		fmt.Printf("\nend-to-end: %.3f s, %.1f GFLOPS (virtual), %.2f GB in, %.2f GB out, %.2f GB reused\n",
-			rep.Seconds(), rep.GFLOPS(),
-			float64(rep.BytesIn)/1e9, float64(rep.BytesOut)/1e9, float64(rep.BytesSkipped)/1e9)
-	}
+	fmt.Println()
+	fmt.Println("Virtual-time resource schedule, full Section V pipeline:")
+	fmt.Print(trace.Gantt{Width: 88}.Render(piped.dev.DMA, piped.dev.Queue))
+	fmt.Print(trace.Utilization(piped.dev.DMA, piped.dev.Queue))
+	rep := piped.rep
+	fmt.Printf("\nend-to-end: %.3f s, %.1f GFLOPS (virtual), %.2f GB in, %.2f GB out, %.2f GB reused\n",
+		rep.Seconds(), rep.GFLOPS(),
+		float64(rep.BytesIn)/1e9, float64(rep.BytesOut)/1e9, float64(rep.BytesSkipped)/1e9)
 }

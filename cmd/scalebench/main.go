@@ -10,37 +10,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"tianhe/internal/bench"
 	"tianhe/internal/experiments"
+	"tianhe/internal/sweep"
 )
 
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
 	progress := flag.Bool("progress", false, "print Figure 13 (full-machine progress curve) instead of Figure 12")
+	cabinetsFlag := flag.String("cabinets", "", "comma-separated cabinet counts (default: the Figure 12 sweep)")
+	parFlag := flag.Int("par", 0, "worker count (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
+	par := sweep.Workers(*parFlag)
+
+	var cabinets []int
+	if *cabinetsFlag != "" {
+		for _, f := range strings.Split(*cabinetsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "scalebench: invalid cabinet count %q\n", f)
+				os.Exit(2)
+			}
+			cabinets = append(cabinets, v)
+		}
+	}
 
 	if *progress {
-		fig13(*seed)
+		fig13(*seed, par)
 		return
 	}
 
 	fmt.Println("Figure 12 — performance scaling by cabinets (GPU down-clocked to 575 MHz)")
 	fmt.Println()
-	s := experiments.Fig12(*seed, nil)
+	s := experiments.Fig12(*seed, cabinets, par)
 	bench.Table(os.Stdout, "cabinets", "TFLOPS", s)
 	fmt.Println()
-	one, _ := s.Y(1)
-	eighty, _ := s.Y(80)
+	one, ok1 := s.Y(1)
+	eighty, ok80 := s.Y(80)
+	if !ok1 || !ok80 {
+		return // custom -cabinets without the 1/80 summary points
+	}
 	fmt.Printf("one cabinet:        %7.2f TFLOPS   (paper: 8.02)\n", one)
 	fmt.Printf("80 cabinets:        %7.2f TFLOPS   (paper: 563.1)\n", eighty)
 	fmt.Printf("scaling efficiency: %7.2f %%        (paper: 87.76%%)\n", eighty/(80*one)*100)
 }
 
-func fig13(seed uint64) {
+func fig13(seed uint64, par int) {
 	fmt.Println("Figure 13 — Linpack progress on the full TianHe-1 configuration")
 	fmt.Println()
-	pts := experiments.Fig13(seed)
+	pts := experiments.Fig13(seed, par)
 	marks := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.9717, 0.99, 1.0}
 	fmt.Printf("%-12s %s\n", "progress", "cumulative TFLOPS")
 	mi := 0

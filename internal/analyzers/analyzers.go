@@ -83,6 +83,7 @@ func All() []*Analyzer {
 		FloatEq,
 		MapIterOrder,
 		MutexCopy,
+		SweepPure,
 	}
 }
 

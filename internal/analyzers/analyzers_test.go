@@ -12,9 +12,10 @@ func TestFaultNil(t *testing.T)     { RunFixture(t, FaultNil, "faultnil") }
 func TestFloatEq(t *testing.T)      { RunFixture(t, FloatEq, "floateq") }
 func TestMapIterOrder(t *testing.T) { RunFixture(t, MapIterOrder, "mapiterorder") }
 func TestMutexCopy(t *testing.T)    { RunFixture(t, MutexCopy, "mutexcopy") }
+func TestSweepPure(t *testing.T)    { RunFixture(t, SweepPure, "sweeppure") }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy"}
+	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy", "sweeppure"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,122 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SweepPure forbids writes to package-level variables inside callbacks
+// passed to the sweep executors (sweep.Map, MapTel, Series, For): sweep
+// points may run concurrently on a worker pool, so a callback that mutates
+// package state races with its siblings and breaks the byte-identical
+// serial/parallel contract. State belongs in locals captured per point, or
+// in per-shard slots reduced after the sweep returns.
+var SweepPure = &Analyzer{
+	Name: "sweeppure",
+	Doc: "forbid assignments and ++/-- on package-level variables inside " +
+		"function literals passed to sweep.Map/MapTel/Series/For: sweep " +
+		"points may run concurrently, so shared mutable state races; keep " +
+		"state in locals or per-shard slots and reduce after the sweep",
+	Run: runSweepPure,
+}
+
+const sweepPkgPath = "tianhe/internal/sweep"
+
+// sweepExecutors are the sweep entry points that run their callback
+// argument concurrently.
+var sweepExecutors = map[string]bool{
+	"Map":    true,
+	"MapTel": true,
+	"Series": true,
+	"For":    true,
+}
+
+func runSweepPure(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFunc(pass.TypesInfo, call.Fun, sweepPkgPath)
+			if !ok || !sweepExecutors[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkSweepCallback(pass, name, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSweepCallback flags every assignment or ++/-- statement in the
+// callback body (including nested function literals — they still run on the
+// sweep's workers) whose target roots in a package-level variable.
+func checkSweepCallback(pass *Pass, fn string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if v, ok := packageLevelTarget(pass.TypesInfo, lhs); ok {
+					reportSweepWrite(pass, fn, lhs.Pos(), v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v, ok := packageLevelTarget(pass.TypesInfo, st.X); ok {
+				reportSweepWrite(pass, fn, st.Pos(), v)
+			}
+		}
+		return true
+	})
+}
+
+func reportSweepWrite(pass *Pass, fn string, pos token.Pos, v *types.Var) {
+	pass.Reportf(pos,
+		"sweep.%s callback writes package-level variable %s: points may run "+
+			"concurrently; keep state in locals or per-shard slots and reduce "+
+			"after the sweep", fn, v.Name())
+}
+
+// packageLevelTarget unwraps an assignment target (index, deref, selector,
+// parenthesized forms) to its root identifier and reports whether that
+// identifier names a package-level variable — of this package or, via a
+// qualified pkg.Var selector, of an imported one.
+func packageLevelTarget(info *types.Info, expr ast.Expr) (*types.Var, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return pkgLevelVar(info.Uses[e.Sel])
+				}
+			}
+			expr = e.X
+		case *ast.Ident:
+			return pkgLevelVar(info.Uses[e])
+		default:
+			return nil, false
+		}
+	}
+}
+
+// pkgLevelVar reports whether obj is a variable declared at package scope.
+func pkgLevelVar(obj types.Object) (*types.Var, bool) {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	return v, true
+}

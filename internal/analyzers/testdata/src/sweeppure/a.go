@@ -1,0 +1,113 @@
+// Package sweeppure is a tianhelint fixture: callbacks handed to the sweep
+// executors run concurrently, so writes to package-level variables are
+// forbidden; locals, per-shard slots, and writes outside sweep calls are
+// fine.
+package sweeppure
+
+import (
+	"context"
+
+	"tianhe/internal/sweep"
+	"tianhe/internal/telemetry"
+)
+
+var total int
+var table = map[int]int{}
+var results []float64
+var slot *int
+
+func badIncrement(xs []float64) {
+	sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		total++ // want "sweep.Map callback writes package-level variable total"
+		return x
+	})
+}
+
+func badCompoundAssign(xs []float64) {
+	sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		total += i // want "sweep.Map callback writes package-level variable total"
+		return x
+	})
+}
+
+func badMapWrite(xs []float64) {
+	sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		table[i] = i // want "sweep.Map callback writes package-level variable table"
+		return x
+	})
+}
+
+func badAppend(xs []float64) {
+	sweep.Series(context.Background(), 4, "bad", xs, func(i int, x float64) float64 {
+		results = append(results, x) // want "sweep.Series callback writes package-level variable results"
+		return x
+	})
+}
+
+func badDeref(n int) {
+	sweep.For(4, n, func(shard, lo, hi int) {
+		*slot = lo // want "sweep.For callback writes package-level variable slot"
+	})
+}
+
+func badMapTel(tel *telemetry.Telemetry, xs []float64) {
+	sweep.MapTel(context.Background(), 4, tel, xs, func(i int, x float64, tel *telemetry.Telemetry) float64 {
+		total = i // want "sweep.MapTel callback writes package-level variable total"
+		return x
+	})
+}
+
+func badNestedLiteral(xs []float64) {
+	sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		accum := func() {
+			total += i // want "sweep.Map callback writes package-level variable total"
+		}
+		accum()
+		return x
+	})
+}
+
+func localsAreFine(xs []float64) []float64 {
+	return sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		sum := 0.0
+		sum += x
+		return sum
+	})
+}
+
+func perShardSlotsAreFine(n int) int {
+	sums := make([]int, sweep.Shards(4, n))
+	sweep.For(4, n, func(shard, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		sums[shard] = s
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+func writesOutsideSweepAreFine(xs []float64) {
+	ys := sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 { return 2 * x })
+	for _, y := range ys {
+		results = append(results, y)
+	}
+}
+
+func readsAreFine(xs []float64) []float64 {
+	return sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		return x + float64(total)
+	})
+}
+
+func suppressed(xs []float64) {
+	sweep.Map(context.Background(), 4, xs, func(i int, x float64) float64 {
+		//lint:ignore sweeppure fixture demonstrates a justified suppression
+		total += i
+		return x
+	})
+}

@@ -60,16 +60,14 @@ func DgemmNaive(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float6
 
 // Dgemm computes C = alpha*op(A)*op(B) + beta*C with a cache-blocked kernel.
 // The NoTrans/NoTrans case — the only one on HPL's critical path — runs a
-// column-axpy kernel blocked over K; the transposed cases transpose the
-// operand once into scratch and reuse the same kernel, which costs O(mk)
-// extra memory traffic against the O(mnk) compute and keeps one fast kernel.
+// column-axpy kernel blocked over K; the transposed cases route through the
+// packed kernel, whose packing step reads op(X) element-wise into pooled
+// fixed-size buffers, so no O(m·k) transposed copy is ever allocated.
 func Dgemm(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
 	gemmDims(tA, tB, a, b, c)
-	if tA == Trans {
-		a = a.Transpose()
-	}
-	if tB == Trans {
-		b = b.Transpose()
+	if tA == Trans || tB == Trans {
+		DgemmPackedOp(tA, tB, alpha, a, b, beta, c)
+		return
 	}
 	dgemmNN(alpha, a, b, beta, c)
 }
@@ -112,18 +110,18 @@ func scaleMatrix(beta float64, c *matrix.Dense) {
 
 // DgemmParallel computes C = alpha*op(A)*op(B) + beta*C, fanning slabs of C
 // columns out to workers goroutines. Workers own disjoint column ranges of C,
-// so no synchronization beyond the final join is needed.
+// so no synchronization beyond the final join is needed. Transposed operands
+// go through DgemmPackedParallel, which linearizes op(X) inside per-worker
+// pooled pack buffers instead of materializing a transposed copy per call.
 func DgemmParallel(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, workers int) {
 	gemmDims(tA, tB, a, b, c)
+	if tA == Trans || tB == Trans {
+		DgemmPackedParallel(tA, tB, alpha, a, b, beta, c, workers)
+		return
+	}
 	if workers <= 1 || c.Cols < 2*gemmNC {
 		Dgemm(tA, tB, alpha, a, b, beta, c)
 		return
-	}
-	if tA == Trans {
-		a = a.Transpose()
-	}
-	if tB == Trans {
-		b = b.Transpose()
 	}
 	type slab struct{ j0, j1 int }
 	jobs := make(chan slab, workers)

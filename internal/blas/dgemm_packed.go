@@ -1,6 +1,11 @@
 package blas
 
-import "tianhe/internal/matrix"
+import (
+	"sync"
+	"sync/atomic"
+
+	"tianhe/internal/matrix"
+)
 
 // Packed DGEMM: the GotoBLAS-style algorithm — block C into MC x NC slabs,
 // pack the corresponding A (MC x KC) and B (KC x NC) blocks into contiguous
@@ -21,31 +26,121 @@ const (
 	packNC = 512 // B slab width
 )
 
+// packBufs is one worker's pair of fixed-size packing buffers. The buffers
+// are pooled: every DgemmPacked* call (and every transposed Dgemm, which
+// routes through here) borrows a pair instead of allocating, so repeated
+// GEMMs — the HPL trailing updates — run allocation-free.
+type packBufs struct {
+	a, b []float64
+}
+
+var packPool = sync.Pool{New: func() any {
+	return &packBufs{
+		a: make([]float64, packMC*packKC),
+		b: make([]float64, packKC*packNC),
+	}
+}}
+
 // DgemmPacked computes C = alpha*A*B + beta*C (NoTrans/NoTrans) with the
 // packed micro-kernel algorithm. Shapes must agree like in Dgemm.
 func DgemmPacked(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
-	gemmDims(NoTrans, NoTrans, a, b, c)
-	m, n, k := c.Rows, c.Cols, a.Cols
-	if beta != 1 {
-		scaleMatrix(beta, c)
+	DgemmPackedOp(NoTrans, NoTrans, alpha, a, b, beta, c)
+}
+
+// DgemmPackedOp computes C = alpha*op(A)*op(B) + beta*C with the packed
+// micro-kernel algorithm. Transposed operands are linearized by the packing
+// step itself — pack reads op(X) element-wise — so no transposed copy of
+// the operand is ever materialized.
+func DgemmPackedOp(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	gemmDims(tA, tB, a, b, c)
+	bufs := packPool.Get().(*packBufs)
+	packedSlabs(tA, tB, alpha, a, b, beta, c, bufs, 0, c.Cols)
+	packPool.Put(bufs)
+}
+
+// packedSlabs runs the packed algorithm over the C column slabs
+// [jc0, jc1), which must be packNC-aligned at jc0. Each slab is scaled by
+// beta and then accumulated tile by tile; slabs touch disjoint columns of
+// C, so concurrent calls on disjoint ranges need no synchronization. The
+// per-tile accumulation order depends only on the tile, never on which
+// worker runs the slab — parallel results are bit-identical to serial.
+func packedSlabs(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, bufs *packBufs, jc0, jc1 int) {
+	m := c.Rows
+	k := a.Cols
+	if tA == Trans {
+		k = a.Rows
 	}
-	if alpha == 0 || m == 0 || n == 0 || k == 0 {
-		return
-	}
-	aPack := make([]float64, packMC*packKC)
-	bPack := make([]float64, packKC*packNC)
-	for jc := 0; jc < n; jc += packNC {
-		nc := min(packNC, n-jc)
+	for jc := jc0; jc < jc1; jc += packNC {
+		nc := min(packNC, jc1-jc)
+		if beta != 1 {
+			for j := jc; j < jc+nc; j++ {
+				col := c.Col(j)
+				if beta == 0 {
+					for i := range col {
+						col[i] = 0
+					}
+				} else {
+					Dscal(beta, col)
+				}
+			}
+		}
+		if alpha == 0 || m == 0 || k == 0 {
+			continue
+		}
 		for pc := 0; pc < k; pc += packKC {
 			kc := min(packKC, k-pc)
-			packB(b, pc, jc, kc, nc, bPack)
+			if tB == Trans {
+				packBT(b, pc, jc, kc, nc, bufs.b)
+			} else {
+				packB(b, pc, jc, kc, nc, bufs.b)
+			}
 			for ic := 0; ic < m; ic += packMC {
 				mc := min(packMC, m-ic)
-				packA(a, ic, pc, mc, kc, aPack)
-				macroKernel(alpha, aPack, bPack, mc, nc, kc, c, ic, jc)
+				if tA == Trans {
+					packAT(a, ic, pc, mc, kc, bufs.a)
+				} else {
+					packA(a, ic, pc, mc, kc, bufs.a)
+				}
+				macroKernel(alpha, bufs.a, bufs.b, mc, nc, kc, c, ic, jc)
 			}
 		}
 	}
+}
+
+// DgemmPackedParallel is DgemmPackedOp with the outer jc loop — the packNC-
+// wide C column slabs — sharded across workers goroutines, each with its
+// own pooled pack buffers. Workers own disjoint column slabs of C and the
+// per-tile arithmetic order is independent of the worker count, so the
+// result is bit-identical to the serial path for any workers value.
+func DgemmPackedParallel(tA, tB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, workers int) {
+	gemmDims(tA, tB, a, b, c)
+	nSlabs := (c.Cols + packNC - 1) / packNC
+	if workers > nSlabs {
+		workers = nSlabs
+	}
+	if workers <= 1 {
+		DgemmPackedOp(tA, tB, alpha, a, b, beta, c)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bufs := packPool.Get().(*packBufs)
+			defer packPool.Put(bufs)
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nSlabs {
+					return
+				}
+				jc := s * packNC
+				packedSlabs(tA, tB, alpha, a, b, beta, c, bufs, jc, min(jc+packNC, c.Cols))
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // packA copies the mc x kc block of A at (i0, p0) into row micro-panels:
@@ -64,6 +159,47 @@ func packA(a *matrix.Dense, i0, p0, mc, kc int, dst []float64) {
 			for r := rows; r < packMR; r++ {
 				dst[idx] = 0
 				idx++
+			}
+		}
+	}
+}
+
+// packAT packs the mc x kc block of op(A) = A^T at (i0, p0) into the same
+// micro-panel layout as packA. Row i of A^T is column i of A, so each panel
+// row streams a unit-stride slice of one A column — the transpose is
+// absorbed by the pack, never materialized.
+func packAT(a *matrix.Dense, i0, p0, mc, kc int, dst []float64) {
+	for ip := 0; ip < mc; ip += packMR {
+		rows := min(packMR, mc-ip)
+		panel := dst[(ip/packMR)*kc*packMR:]
+		for r := 0; r < rows; r++ {
+			col := a.Col(i0+ip+r)[p0 : p0+kc]
+			for kk := 0; kk < kc; kk++ {
+				panel[kk*packMR+r] = col[kk]
+			}
+		}
+		for r := rows; r < packMR; r++ {
+			for kk := 0; kk < kc; kk++ {
+				panel[kk*packMR+r] = 0
+			}
+		}
+	}
+}
+
+// packBT packs the kc x nc block of op(B) = B^T at (p0, j0) into the same
+// micro-panel layout as packB. Row kk of B^T is column kk of B, so the inner
+// loop reads B columns at unit stride across the panel width.
+func packBT(b *matrix.Dense, p0, j0, kc, nc int, dst []float64) {
+	for jp := 0; jp < nc; jp += packNR {
+		w := min(packNR, nc-jp)
+		panel := dst[(jp/packNR)*kc*packNR:]
+		for kk := 0; kk < kc; kk++ {
+			bcol := b.Col(p0 + kk)
+			for cc := 0; cc < w; cc++ {
+				panel[kk*packNR+cc] = bcol[j0+jp+cc]
+			}
+			for cc := w; cc < packNR; cc++ {
+				panel[kk*packNR+cc] = 0
 			}
 		}
 	}

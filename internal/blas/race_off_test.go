@@ -1,0 +1,8 @@
+//go:build !race
+
+package blas
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are meaningless under its shadow-memory
+// bookkeeping.
+const raceEnabled = false

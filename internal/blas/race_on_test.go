@@ -1,0 +1,5 @@
+//go:build race
+
+package blas
+
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/pipeline"
 	"tianhe/internal/sim"
+	"tianhe/internal/sweep"
 )
 
 // Policy selects how splits are managed in the large-scale simulation.
@@ -60,6 +61,11 @@ type ScaleConfig struct {
 	// against the paper's single-cabinet result; it is what makes the
 	// endgame expensive (Fig. 13's late performance drop).
 	PerIterOverheadSec float64
+	// Workers shards the per-iteration element loop across real cores.
+	// Elements carry independent RNG streams and per-element state, and the
+	// iteration reduction is a max, so the result is bit-identical for any
+	// worker count. Values <= 1 run the serial loop.
+	Workers int
 }
 
 // ProgressPoint is one sample of the Fig. 13 curve.
@@ -181,6 +187,7 @@ func SimulateScale(cfg ScaleConfig) ScaleResult {
 	totalFlops := hpl.LinpackFlops(cfg.N)
 	res := ScaleResult{N: cfg.N, NB: cfg.NB, Processes: cfg.Processes, Grid: g}
 
+	slowestSh := make([]float64, sweep.Shards(cfg.Workers, len(elems)))
 	nblocks := cfg.N / cfg.NB
 	for k := 0; k < nblocks; k++ {
 		trailing := cfg.N - (k+1)*cfg.NB
@@ -203,34 +210,47 @@ func SimulateScale(cfg ScaleConfig) ScaleResult {
 			gpuSecNominal := pipelinedGPUSeconds(mloc, nloc, cfg.NB, gpuModel, transfer)
 			rgNominal := w / gpuSecNominal / 1e9
 
+			// Elements advance independently (own RNG streams, own state);
+			// the only cross-element interaction is the slowest-element max,
+			// which is exact and order-independent — per-shard maxima reduced
+			// afterwards give the serial result bit for bit.
+			sweep.For(cfg.Workers, len(elems), func(shard, lo, hi int) {
+				var sl float64
+				for e := lo; e < hi; e++ {
+					es := &elems[e]
+					// Thermal random walk, clamped.
+					es.gpuScale += es.drift.Normal(0, cfg.DriftSigma)
+					es.gpuScale = clamp(es.gpuScale, 1-cfg.DriftMax, 1+cfg.DriftMax)
+
+					rg := rgNominal * es.gpuScale
+					// Production-run CPU availability: communication progress,
+					// driver threads and look-ahead bookkeeping consume cores —
+					// load the offline training phase never observes.
+					load := loadFrac * es.noise.LogNormalFactor(0.10)
+					if load > 0.6 {
+						load = 0.6
+					}
+					rc := es.cpuRate * (1 - load)
+
+					split := es.split
+					tg := split * w / (rg * 1e9)
+					tc := (1 - split) * w / (rc * 1e9)
+					t := math.Max(tg, tc)
+					if t > sl {
+						sl = t
+					}
+					if cfg.Policy == PolicyAdaptive {
+						// The Section IV update from this iteration's measured
+						// rates, used next iteration.
+						es.split = rg / (rg + rc)
+					}
+				}
+				slowestSh[shard] = sl
+			})
 			var slowest float64
-			for e := range elems {
-				es := &elems[e]
-				// Thermal random walk, clamped.
-				es.gpuScale += es.drift.Normal(0, cfg.DriftSigma)
-				es.gpuScale = clamp(es.gpuScale, 1-cfg.DriftMax, 1+cfg.DriftMax)
-
-				rg := rgNominal * es.gpuScale
-				// Production-run CPU availability: communication progress,
-				// driver threads and look-ahead bookkeeping consume cores —
-				// load the offline training phase never observes.
-				load := loadFrac * es.noise.LogNormalFactor(0.10)
-				if load > 0.6 {
-					load = 0.6
-				}
-				rc := es.cpuRate * (1 - load)
-
-				split := es.split
-				tg := split * w / (rg * 1e9)
-				tc := (1 - split) * w / (rc * 1e9)
-				t := math.Max(tg, tc)
-				if t > slowest {
-					slowest = t
-				}
-				if cfg.Policy == PolicyAdaptive {
-					// The Section IV update from this iteration's measured
-					// rates, used next iteration.
-					es.split = rg / (rg + rc)
+			for _, sl := range slowestSh[:sweep.Shards(cfg.Workers, len(elems))] {
+				if sl > slowest {
+					slowest = sl
 				}
 			}
 			iterTime = slowest

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestAblationOrderingSavesBytes(t *testing.T) {
-	gb, sec := AblationOrdering(12288, 12288, 4096)
+	gb, sec := AblationOrdering(12288, 12288, 4096, 1)
 	rowMajor, _ := gb.Y(0)
 	bounce, _ := gb.Y(1)
 	if bounce >= rowMajor {
@@ -17,7 +17,7 @@ func TestAblationOrderingSavesBytes(t *testing.T) {
 }
 
 func TestAblationBlockRowsBounded(t *testing.T) {
-	s := AblationBlockRows([]int{128, 512, 4096})
+	s := AblationBlockRows([]int{128, 512, 4096}, 1)
 	for _, p := range s.Points {
 		if p.Y < 100 || p.Y > 240 {
 			t.Fatalf("H=%v rate %v implausible", p.X, p.Y)
@@ -26,7 +26,7 @@ func TestAblationBlockRowsBounded(t *testing.T) {
 }
 
 func TestAblationBucketsAllConverge(t *testing.T) {
-	s := AblationBuckets([]int{1, 64}, DefaultSeed)
+	s := AblationBuckets([]int{1, 64}, DefaultSeed, 1)
 	one, _ := s.Y(1)
 	many, _ := s.Y(64)
 	// Both configurations must land in the optimized band; the interesting
@@ -39,7 +39,7 @@ func TestAblationBucketsAllConverge(t *testing.T) {
 }
 
 func TestAblationStagingOrdering(t *testing.T) {
-	s := AblationStaging(DefaultSeed)
+	s := AblationStaging(DefaultSeed, 1)
 	naive, _ := s.Y(0)
 	pageable, _ := s.Y(1)
 	pinned, _ := s.Y(2)
@@ -53,7 +53,7 @@ func TestAblationStagingOrdering(t *testing.T) {
 }
 
 func TestAblationTileSmallTilesLose(t *testing.T) {
-	s := AblationTile([]int{1024, 4096})
+	s := AblationTile([]int{1024, 4096}, 1)
 	small, _ := s.Y(1024)
 	big, _ := s.Y(4096)
 	if small >= big {
@@ -62,7 +62,7 @@ func TestAblationTileSmallTilesLose(t *testing.T) {
 }
 
 func TestAblationNBShape(t *testing.T) {
-	s := AblationNB([]int{196, 1216, 2432}, DefaultSeed)
+	s := AblationNB([]int{196, 1216, 2432}, DefaultSeed, 1)
 	tiny, _ := s.Y(196)
 	paper, _ := s.Y(1216)
 	huge, _ := s.Y(2432)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tianhe/internal/adaptive"
@@ -15,6 +16,7 @@ import (
 	"tianhe/internal/hybrid"
 	"tianhe/internal/linpacksim"
 	"tianhe/internal/pipeline"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 )
 
@@ -28,45 +30,76 @@ var Fig8Sizes = []int{2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384}
 // configurations. Adaptive variants report the second-run value, as the
 // paper does ("the first run updates the databases").
 func Fig8(seed uint64, sizes []int) []*bench.Series {
-	return Fig8Instrumented(seed, sizes, nil)
+	return Fig8Instrumented(seed, sizes, nil, 1)
 }
 
-// Fig8Instrumented is Fig8 with telemetry attached: runner counters, the
-// adaptive GSplit/CSplit series, and live resource traces with tracks
-// prefixed "<variant>.N<size>/". A nil bundle reproduces Fig8 exactly.
-func Fig8Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry) []*bench.Series {
-	if sizes == nil {
-		sizes = Fig8Sizes
+// variantPoint is one (variant, size) cell of the Fig. 8/9 sweeps; the cells
+// are flattened variant-major so the sweep results land in serial order.
+type variantPoint struct {
+	v element.Variant
+	n int
+}
+
+func variantPoints(sizes []int) []variantPoint {
+	pts := make([]variantPoint, 0, len(element.Variants)*len(sizes))
+	for _, v := range element.Variants {
+		for _, n := range sizes {
+			pts = append(pts, variantPoint{v, n})
+		}
 	}
+	return pts
+}
+
+// variantSeries folds the flat per-point values back into one series per
+// variant, in the exact order the serial loops produced.
+func variantSeries(sizes []int, gs []float64) []*bench.Series {
 	var out []*bench.Series
-	maxN := sizes[len(sizes)-1]
+	i := 0
 	for _, v := range element.Variants {
 		s := &bench.Series{Name: v.String()}
 		for _, n := range sizes {
-			cfg := element.Config{Seed: seed, Virtual: true}
-			if v == element.CPUOnly {
-				cfg.CPUCores = 4 // host-only runs use all four cores
-			}
-			el := element.New(cfg)
-			var part adaptive.Partitioner
-			if v.Adaptive() {
-				work := 2 * float64(maxN) * float64(maxN) * float64(maxN)
-				part = adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
-			}
-			run := hybrid.New(el, v, adaptive.Instrument(part, tel))
-			if tel.Enabled() {
-				run.Instrument(tel)
-				el.Instrument(tel, fmt.Sprintf("%s.N%d", v, n))
-			}
-			var g float64
-			for i := 0; i < 3; i++ {
-				g = run.GemmVirtual(n, n, n, 1, el.Now()).GFLOPS()
-			}
-			s.Add(float64(n), g)
+			s.Add(float64(n), gs[i])
+			i++
 		}
 		out = append(out, s)
 	}
 	return out
+}
+
+// Fig8Instrumented is Fig8 with telemetry attached: runner counters, the
+// adaptive GSplit/CSplit series, and live resource traces with tracks
+// prefixed "<variant>.N<size>/". A nil bundle reproduces Fig8 exactly. The
+// (variant, size) cells are independent simulated runs and execute on par
+// workers; output is byte-identical for every par.
+func Fig8Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry, par int) []*bench.Series {
+	if sizes == nil {
+		sizes = Fig8Sizes
+	}
+	maxN := sizes[len(sizes)-1]
+	gs := sweep.MapTel(context.Background(), par, tel, variantPoints(sizes),
+		func(_ int, p variantPoint, tel *telemetry.Telemetry) float64 {
+			cfg := element.Config{Seed: seed, Virtual: true}
+			if p.v == element.CPUOnly {
+				cfg.CPUCores = 4 // host-only runs use all four cores
+			}
+			el := element.New(cfg)
+			var part adaptive.Partitioner
+			if p.v.Adaptive() {
+				work := 2 * float64(maxN) * float64(maxN) * float64(maxN)
+				part = adaptive.NewAdaptive(64, work, el.InitialGSplit(), el.CPU.NumCores())
+			}
+			run := hybrid.New(el, p.v, adaptive.Instrument(part, tel))
+			if tel.Enabled() {
+				run.Instrument(tel)
+				el.Instrument(tel, fmt.Sprintf("%s.N%d", p.v, p.n))
+			}
+			var g float64
+			for i := 0; i < 3; i++ {
+				g = run.GemmVirtual(p.n, p.n, p.n, 1, el.Now()).GFLOPS()
+			}
+			return g
+		})
+	return variantSeries(sizes, gs)
 }
 
 // Fig9Sizes is the Linpack sweep of Figure 9 (the paper's headline point is
@@ -78,29 +111,27 @@ var Fig9Sizes = []int{4864, 9728, 14592, 19456, 24320, 29184, 34048, 38912, 4377
 // (unmodified HPL hands it pageable memory); the optimized variants stage
 // through the pinned pool.
 func Fig9(seed uint64, sizes []int) []*bench.Series {
-	return Fig9Instrumented(seed, sizes, nil)
+	return Fig9Instrumented(seed, sizes, nil, 1)
 }
 
 // Fig9Instrumented is Fig9 with telemetry threaded through every simulated
-// Linpack run. A nil bundle reproduces Fig9 exactly.
-func Fig9Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry) []*bench.Series {
+// Linpack run. A nil bundle reproduces Fig9 exactly. Each (variant, size)
+// Linpack is an independent simulation; par workers run them concurrently
+// with byte-identical output.
+func Fig9Instrumented(seed uint64, sizes []int, tel *telemetry.Telemetry, par int) []*bench.Series {
 	if sizes == nil {
 		sizes = Fig9Sizes
 	}
-	var out []*bench.Series
-	for _, v := range element.Variants {
-		s := &bench.Series{Name: v.String()}
-		for _, n := range sizes {
+	gs := sweep.MapTel(context.Background(), par, tel, variantPoints(sizes),
+		func(_ int, p variantPoint, tel *telemetry.Telemetry) float64 {
 			res := linpacksim.Run(linpacksim.Config{
-				N: n, Variant: v, Seed: seed,
-				PageableLibrary: v == element.ACMLG,
+				N: p.n, Variant: p.v, Seed: seed,
+				PageableLibrary: p.v == element.ACMLG,
 				Telemetry:       tel,
 			})
-			s.Add(float64(n), res.GFLOPS)
-		}
-		out = append(out, s)
-	}
-	return out
+			return res.GFLOPS
+		})
+	return variantSeries(sizes, gs)
 }
 
 // Fig10 runs one adaptive Linpack and returns database_g's split per
@@ -133,25 +164,34 @@ var Fig11Processes = []int{1, 2, 4, 8, 16, 32, 64}
 
 // Fig11 compares the adaptive mapping against the Qilin-style trained
 // mapping across process counts within a cabinet. The problem size grows
-// with sqrt(P) to keep per-element memory constant.
-func Fig11(seed uint64, procs []int) (ours, qilin *bench.Series) {
+// with sqrt(P) to keep per-element memory constant. The process-count points
+// run on par workers; the two policies of one point stay serial (they share
+// nothing, but the point is already small).
+func Fig11(seed uint64, procs []int, par int) (ours, qilin *bench.Series) {
 	if procs == nil {
 		procs = Fig11Processes
 	}
-	ours = &bench.Series{Name: "adaptive"}
-	qilin = &bench.Series{Name: "qilin-trained"}
-	for _, p := range procs {
+	type pair struct{ adaptive, trained float64 }
+	pairs := sweep.Map(context.Background(), par, procs, func(_ int, p int) pair {
 		n := scaledN(46080, p)
+		var out pair
 		for _, pol := range []cluster.Policy{cluster.PolicyAdaptive, cluster.PolicyTrained} {
 			r := cluster.SimulateScale(cluster.ScaleConfig{
 				N: n, NB: 1216, Processes: p, Seed: seed, Policy: pol,
 			})
 			if pol == cluster.PolicyAdaptive {
-				ours.Add(float64(p), r.GFLOPS)
+				out.adaptive = r.GFLOPS
 			} else {
-				qilin.Add(float64(p), r.GFLOPS)
+				out.trained = r.GFLOPS
 			}
 		}
+		return out
+	})
+	ours = &bench.Series{Name: "adaptive"}
+	qilin = &bench.Series{Name: "qilin-trained"}
+	for i, p := range procs {
+		ours.Add(float64(p), pairs[i].adaptive)
+		qilin.Add(float64(p), pairs[i].trained)
 	}
 	return ours, qilin
 }
@@ -161,32 +201,40 @@ var Fig12Cabinets = []int{1, 2, 5, 10, 20, 40, 80}
 
 // Fig12 measures Linpack TFLOPS by cabinet count on the down-clocked
 // configuration, problem size growing from 280,000 to the full-machine
-// 2,240,000.
-func Fig12(seed uint64, cabinets []int) *bench.Series {
+// 2,240,000. The sweep is doubly parallel: cabinet points fan out across
+// par workers AND each point shards its per-element inner loop — the
+// 80-cabinet point alone is most of the sweep's cost, so point-level
+// parallelism cannot carry it.
+func Fig12(seed uint64, cabinets []int, par int) *bench.Series {
 	if cabinets == nil {
 		cabinets = Fig12Cabinets
 	}
-	s := &bench.Series{Name: "TFLOPS"}
-	for _, c := range cabinets {
+	xs := make([]float64, len(cabinets))
+	for i, c := range cabinets {
+		xs[i] = float64(c)
+	}
+	return sweep.Series(context.Background(), par, "TFLOPS", xs, func(i int, _ float64) float64 {
+		c := cabinets[i]
 		n := scaledN(280000, c)
 		if c == 80 {
 			n = 2240000 - 2240000%1216
 		}
 		r := cluster.SimulateScale(cluster.ScaleConfig{
 			N: n, NB: 1216, Processes: 64 * c, Seed: seed,
-			Policy: cluster.PolicyAdaptive, Downclock: true,
+			Policy: cluster.PolicyAdaptive, Downclock: true, Workers: par,
 		})
-		s.Add(float64(c), r.TFLOPS)
-	}
-	return s
+		return r.TFLOPS
+	})
 }
 
 // Fig13 runs the full-machine configuration and returns the cumulative
-// performance (TFLOPS) versus progress curve.
-func Fig13(seed uint64) []cluster.ProgressPoint {
+// performance (TFLOPS) versus progress curve. A single run — par shards
+// the per-element loop inside the scale simulation.
+func Fig13(seed uint64, par int) []cluster.ProgressPoint {
 	r := cluster.SimulateScale(cluster.ScaleConfig{
 		N: 2240000 - 2240000%1216, NB: 1216, Processes: 5120, Seed: seed,
 		Policy: cluster.PolicyAdaptive, Downclock: true, RecordProgress: true,
+		Workers: par,
 	})
 	return r.Progress
 }

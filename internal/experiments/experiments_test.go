@@ -172,7 +172,7 @@ func TestFig10SmallWorkloadsLowerSplit(t *testing.T) {
 }
 
 func TestFig11AdvantageAt64(t *testing.T) {
-	ours, qilin := Fig11(DefaultSeed, quickFig11)
+	ours, qilin := Fig11(DefaultSeed, quickFig11, 1)
 	o, _ := ours.Y(64)
 	q, _ := qilin.Y(64)
 	adv := o/q - 1
@@ -187,7 +187,7 @@ func TestFig11AdvantageAt64(t *testing.T) {
 }
 
 func TestFig12ShapeAndMagnitude(t *testing.T) {
-	s := Fig12(DefaultSeed, []int{1, 10, 80})
+	s := Fig12(DefaultSeed, []int{1, 10, 80}, 1)
 	one, _ := s.Y(1)
 	eighty, _ := s.Y(80)
 	if one < 7 || one > 9 {
@@ -202,7 +202,7 @@ func TestFig12ShapeAndMagnitude(t *testing.T) {
 }
 
 func TestFig13LateDrop(t *testing.T) {
-	pts := Fig13(DefaultSeed)
+	pts := Fig13(DefaultSeed, 1)
 	if len(pts) == 0 {
 		t.Fatal("no progress points")
 	}

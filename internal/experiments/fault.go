@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tianhe/internal/adaptive"
@@ -10,6 +11,7 @@ import (
 	"tianhe/internal/linpacksim"
 	"tianhe/internal/mpi"
 	"tianhe/internal/sim"
+	"tianhe/internal/sweep"
 	"tianhe/internal/telemetry"
 )
 
@@ -138,61 +140,76 @@ func steadyState(reps []hybrid.Report) float64 {
 // each policy first runs fault-free (the reference), then under the
 // scenario's event schedule scaled to the reference makespan. Telemetry
 // (optional) receives per-operation GFLOPS samples, the injector's fault
-// windows as trace spans, and the runtime's fault instants.
-func FaultSweep(scenario string, seed uint64, n, ops int, tel *telemetry.Telemetry) ([]FaultCell, error) {
+// windows as trace spans, and the runtime's fault instants. The policies
+// are independent (the trained policy's shared database is frozen before
+// the sweep starts) and run on par workers; each policy's injector
+// instruments that policy's isolated bundle, so metrics and traces merge
+// back in policy order exactly as the serial sweep records them.
+func FaultSweep(scenario string, seed uint64, n, ops int, tel *telemetry.Telemetry, par int) ([]FaultCell, error) {
 	if _, err := fault.Scenario(scenario, 1); err != nil {
 		return nil, err
 	}
-	var cells []FaultCell
-	for _, p := range faultPolicies(seed, n, ops) {
-		healthy, _, hStalled := faultRun(seed, n, ops, p, nil, telemetry.Disabled(), "")
-		if hStalled {
-			panic("experiments: healthy reference run stalled")
-		}
-		cell := FaultCell{
-			Scenario:       scenario,
-			Policy:         p.name,
-			HealthySeconds: healthy[len(healthy)-1].End,
-			HealthySS:      steadyState(healthy),
-			OpsTotal:       ops,
-			RecoverySec:    0,
-		}
+	type outcome struct {
+		cell FaultCell
+		err  error
+	}
+	results := sweep.MapTel(context.Background(), par, tel, faultPolicies(seed, n, ops),
+		func(_ int, p faultPolicy, tel *telemetry.Telemetry) outcome {
+			healthy, _, hStalled := faultRun(seed, n, ops, p, nil, telemetry.Disabled(), "")
+			if hStalled {
+				panic("experiments: healthy reference run stalled")
+			}
+			cell := FaultCell{
+				Scenario:       scenario,
+				Policy:         p.name,
+				HealthySeconds: healthy[len(healthy)-1].End,
+				HealthySS:      steadyState(healthy),
+				OpsTotal:       ops,
+				RecoverySec:    0,
+			}
 
-		in, err := fault.NewScenario(scenario, cell.HealthySeconds, seed)
-		if err != nil {
-			return nil, err
-		}
-		in.Instrument(tel)
-		label := fmt.Sprintf("fault.%s.%s", scenario, p.name)
-		reps, stallAt, stalled := faultRun(seed, n, ops, p, in, tel, label)
-		cell.Stalled = stalled
-		cell.StallAtSec = stallAt
-		cell.OpsDone = len(reps)
-		cell.SteadySS = steadyState(reps)
-		if len(reps) > 0 {
-			cell.FaultSeconds = reps[len(reps)-1].End
-			cell.TroughOp = reps[0].GFLOPS()
-			for _, r := range reps[1:] {
-				if g := r.GFLOPS(); g < cell.TroughOp {
-					cell.TroughOp = g
+			in, err := fault.NewScenario(scenario, cell.HealthySeconds, seed)
+			if err != nil {
+				return outcome{err: err}
+			}
+			in.Instrument(tel)
+			label := fmt.Sprintf("fault.%s.%s", scenario, p.name)
+			reps, stallAt, stalled := faultRun(seed, n, ops, p, in, tel, label)
+			cell.Stalled = stalled
+			cell.StallAtSec = stallAt
+			cell.OpsDone = len(reps)
+			cell.SteadySS = steadyState(reps)
+			if len(reps) > 0 {
+				cell.FaultSeconds = reps[len(reps)-1].End
+				cell.TroughOp = reps[0].GFLOPS()
+				for _, r := range reps[1:] {
+					if g := r.GFLOPS(); g < cell.TroughOp {
+						cell.TroughOp = g
+					}
 				}
 			}
-		}
-		if restore, hasLoss := in.GPURestoreEnd(); hasLoss {
-			cell.RecoverySec = -1
-			for _, r := range reps {
-				if r.End > restore && r.GFLOPS() >= RecoveryThreshold*cell.HealthySS {
-					cell.RecoverySec = r.End - restore
-					break
+			if restore, hasLoss := in.GPURestoreEnd(); hasLoss {
+				cell.RecoverySec = -1
+				for _, r := range reps {
+					if r.End > restore && r.GFLOPS() >= RecoveryThreshold*cell.HealthySS {
+						cell.RecoverySec = r.End - restore
+						break
+					}
 				}
 			}
+			if scenario == "healthy" {
+				// The empty injector runs through every hook; any drift from
+				// the hookless reference is pure injection overhead.
+				cell.OverheadPct = 100 * (cell.FaultSeconds - cell.HealthySeconds) / cell.HealthySeconds
+			}
+			return outcome{cell: cell}
+		})
+	cells := make([]FaultCell, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		if scenario == "healthy" {
-			// The empty injector runs through every hook; any drift from
-			// the hookless reference is pure injection overhead.
-			cell.OverheadPct = 100 * (cell.FaultSeconds - cell.HealthySeconds) / cell.HealthySeconds
-		}
-		cells = append(cells, cell)
+		cells = append(cells, r.cell)
 	}
 	return cells, nil
 }
@@ -272,21 +289,25 @@ type FailoverResult struct {
 
 // Failover measures the element-fail scenario on the Linpack simulation:
 // a healthy run sets the baseline, then the same run is killed at half
-// time and recovered from scratch and from per-iteration checkpoints.
-func Failover(seed uint64, n int, tel *telemetry.Telemetry) FailoverResult {
+// time and recovered from scratch and from per-iteration checkpoints. The
+// healthy run must finish first (it sets the failure instant); the two
+// recovery runs are independent and execute on par workers.
+func Failover(seed uint64, n int, tel *telemetry.Telemetry, par int) FailoverResult {
 	if n <= 0 {
 		n = 9728
 	}
 	base := linpacksim.Config{N: n, Variant: element.ACMLGBoth, Seed: seed, Telemetry: tel}
 	healthy := linpacksim.Run(base)
 
-	failCfg := base
-	failCfg.FailAt = sim.Time(healthy.Seconds * 0.5)
-	scratch := linpacksim.Run(failCfg)
-
-	ckptCfg := failCfg
-	ckptCfg.Checkpoint = true
-	ckpt := linpacksim.Run(ckptCfg)
+	recovered := sweep.MapTel(context.Background(), par, tel, []bool{false, true},
+		func(_ int, checkpoint bool, tel *telemetry.Telemetry) linpacksim.Result {
+			cfg := base
+			cfg.FailAt = sim.Time(healthy.Seconds * 0.5)
+			cfg.Checkpoint = checkpoint
+			cfg.Telemetry = tel
+			return linpacksim.Run(cfg)
+		})
+	scratch, ckpt := recovered[0], recovered[1]
 
 	return FailoverResult{
 		N:             n,

@@ -6,6 +6,7 @@ import (
 
 	"tianhe/internal/adaptive"
 	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
 )
 
 // Checkpoint captures the restartable state of a run between iterations:
@@ -21,13 +22,21 @@ type Checkpoint struct {
 	T          sim.Time        `json:"t"`
 	DatabaseG  json.RawMessage `json:"database_g,omitempty"`
 	CSplits    []float64       `json:"csplits,omitempty"`
+
+	// tel captures the run's telemetry state at checkpoint time, so Restore
+	// can roll spans and counters booked by lost iterations back out of the
+	// run's totals — otherwise every redone iteration double-counts. The
+	// snapshot is process-local (metric pointers), deliberately absent from
+	// the JSON form: a checkpoint deserialized into another process carries
+	// no telemetry to roll back, and Restore then leaves the bundle alone.
+	tel *telemetry.Snapshot
 }
 
 // Checkpoint captures the current state. Call it only between iterations
 // (after Step returns); mid-iteration state is not restartable, exactly as
 // a real checkpointer must quiesce before writing.
 func (s *Sim) Checkpoint() *Checkpoint {
-	cp := &Checkpoint{J: s.j, Iterations: s.iters, T: s.t}
+	cp := &Checkpoint{J: s.j, Iterations: s.iters, T: s.t, tel: s.cfg.Telemetry.Snapshot()}
 	if ad, ok := adaptive.AsAdaptive(s.part); ok {
 		blob, err := json.Marshal(ad.G)
 		if err != nil {
@@ -64,6 +73,10 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 		ad.C.Restore(cp.CSplits)
 	}
 	s.j, s.iters, s.t = cp.J, cp.Iterations, cp.T
+	// Telemetry booked by the lost iterations is rolled back to the
+	// checkpoint, so the redone iterations don't double-count; a checkpoint
+	// without a snapshot (deserialized from JSON) skips the rollback.
+	s.cfg.Telemetry.Rollback(cp.tel)
 	// Timelines restart idle at the checkpoint time. Busy accounting and
 	// recorded spans from the lost attempt are dropped with the reset —
 	// observers (telemetry) stay attached.

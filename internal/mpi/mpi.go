@@ -165,6 +165,7 @@ func NewWorld(cfg Config) *World {
 		c := &Comm{world: w, rank: r, clock: sim.NewClock()}
 		if w.probes != nil {
 			c.track = fmt.Sprintf("%s.rank%03d", label, r)
+			c.trace = telemetry.NewTracer()
 		}
 		w.comms = append(w.comms, c)
 	}
@@ -197,6 +198,13 @@ type Comm struct {
 	rank  int
 	clock *sim.Clock
 	track string // trace track name, precomputed when instrumented
+	// trace is this rank's private event recorder. Ranks run as goroutines,
+	// so recording into the shared tracer would order events by the Go
+	// scheduler — real time leaking into the virtual-time trace, invisible
+	// to the race detector. Each rank records privately and World.Run merges
+	// the per-rank traces into the shared tracer in rank order, which makes
+	// the exported trace bytes deterministic.
+	trace *telemetry.Tracer
 }
 
 // Rank returns this endpoint's rank.
@@ -245,7 +253,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 			attempts++
 			if pr := c.world.probes; pr != nil {
 				pr.drops.Inc()
-				pr.tracer.Instant(c.track, "fault", "mpi.drop", c.clock.Now())
+				c.trace.Instant(c.track, "fault", "mpi.drop", c.clock.Now())
 			}
 		}
 	}
@@ -270,7 +278,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		if attempts > 1 {
 			pr.retries.Add(int64(attempts - 1))
 		}
-		pr.tracer.Span(c.track, "mpi", "send", sendAt, launchAt+dur)
+		c.trace.Span(c.track, "mpi", "send", sendAt, launchAt+dur)
 	}
 }
 
@@ -383,6 +391,9 @@ func (c *Comm) AllreduceMax(tag int, x float64) float64 {
 
 // Run launches fn on every rank in its own goroutine and waits for all of
 // them, returning the largest final virtual clock (the parallel makespan).
+// When the world is instrumented, the per-rank trace events are merged into
+// the shared tracer in rank order after the ranks joined, so the exported
+// trace is deterministic no matter how the goroutines were scheduled.
 func (w *World) Run(fn func(c *Comm)) sim.Time {
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
@@ -393,6 +404,12 @@ func (w *World) Run(fn func(c *Comm)) sim.Time {
 		}(w.comms[r])
 	}
 	wg.Wait()
+	if w.probes != nil {
+		for _, c := range w.comms {
+			w.probes.tracer.Merge(c.trace)
+			c.trace = telemetry.NewTracer() // a second Run must not re-merge
+		}
+	}
 	var end sim.Time
 	for _, c := range w.comms {
 		if t := c.clock.Now(); t > end {

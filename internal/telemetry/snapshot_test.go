@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func dump(t *Telemetry) (string, string) {
+	var m, tr bytes.Buffer
+	t.Metrics.WriteText(&m)
+	if err := t.Trace.WriteJSON(&tr); err != nil {
+		panic(err)
+	}
+	return m.String(), tr.String()
+}
+
+func TestSnapshotRollbackRestoresExactState(t *testing.T) {
+	tel := New()
+	c := tel.Counter("work.done")
+	g := tel.Gauge("split.last")
+	a := tel.Gauge("wait.total")
+	h := tel.Histogram("op.sec", []float64{1, 2, 4})
+	c.Add(3)
+	g.Set(0.25)
+	a.Add(1.5)
+	h.Observe(1.5)
+	tel.Trace.Span("gpu", "op", "gemm", 0, 1)
+	tel.Trace.Sample("rate", 1, 100)
+
+	wantM, wantT := dump(tel)
+	snap := tel.Snapshot()
+
+	// The lost attempt: existing metrics move, new trace tracks appear.
+	c.Add(40)
+	g.Set(0.9)
+	a.Add(9)
+	h.Observe(3)
+	tel.Trace.Span("cpu", "op", "panel", 1, 2)
+
+	tel.Rollback(snap)
+	gotM, gotT := dump(tel)
+	if gotM != wantM {
+		t.Fatalf("metrics not restored:\n--- want ---\n%s--- got ---\n%s", wantM, gotM)
+	}
+	if gotT != wantT {
+		t.Fatalf("trace not restored:\n--- want ---\n%s--- got ---\n%s", wantT, gotT)
+	}
+
+	// The redo after the rollback must land exactly where the first attempt
+	// would have: pointers held by probes still work.
+	c.Add(40)
+	if c.Value() != 43 {
+		t.Fatalf("counter redo: got %d, want 43", c.Value())
+	}
+	tel.Trace.Span("cpu", "op", "panel", 1, 2)
+	if tel.Trace.Len() != 3 {
+		t.Fatalf("trace redo: got %d events, want 3", tel.Trace.Len())
+	}
+}
+
+func TestRollbackZeroesMetricsCreatedAfterSnapshot(t *testing.T) {
+	tel := New()
+	snap := tel.Snapshot()
+	late := tel.Counter("late.metric")
+	late.Inc()
+	lg := tel.Gauge("late.gauge")
+	lg.Set(7)
+	lh := tel.Histogram("late.hist", []float64{1})
+	lh.Observe(0.5)
+	tel.Rollback(snap)
+	// The objects survive (probes hold the pointers) but carry no state from
+	// the rolled-back attempt.
+	if late.Value() != 0 || lg.Value() != 0 || lh.Count() != 0 || lh.Sum() != 0 {
+		t.Fatalf("post-snapshot metrics must be zeroed: %d %g %d %g",
+			late.Value(), lg.Value(), lh.Count(), lh.Sum())
+	}
+	late.Inc()
+	if late.Value() != 1 {
+		t.Fatal("zeroed metric must keep working through the held pointer")
+	}
+}
+
+func TestNilBundleSnapshotRollback(t *testing.T) {
+	var tel *Telemetry
+	tel.Rollback(tel.Snapshot()) // must not panic
+	if tel.Snapshot() != nil {
+		t.Fatal("nil bundle must produce a nil snapshot")
+	}
+}
+
+func TestRegistryMergeSemantics(t *testing.T) {
+	parent := New()
+	parent.Counter("n").Add(1)
+	parent.Gauge("set").Set(1)
+	parent.Gauge("sum").Add(1)
+
+	child := New()
+	child.Counter("n").Add(2)
+	child.Counter("only.child").Add(5)
+	child.Gauge("set").Set(9)
+	child.Gauge("sum").Add(2.5)
+	child.Gauge("untouched") // created but never written
+	child.Histogram("h", []float64{1, 2}).Observe(1.5)
+	child.Trace.Span("t0", "c", "x", 0, 1)
+
+	parent.Merge(child)
+	if v := parent.Counter("n").Value(); v != 3 {
+		t.Fatalf("counter merge: %d", v)
+	}
+	if v := parent.Counter("only.child").Value(); v != 5 {
+		t.Fatalf("new counter merge: %d", v)
+	}
+	if v := parent.Gauge("set").Value(); v != 9 {
+		t.Fatalf("set-gauge merge must take the child value: %g", v)
+	}
+	if v := parent.Gauge("sum").Value(); v != 3.5 {
+		t.Fatalf("add-gauge merge must sum: %g", v)
+	}
+	if v := parent.Gauge("untouched").Value(); v != 0 {
+		t.Fatalf("untouched gauge must stay zero: %g", v)
+	}
+	if n := parent.Histogram("h", nil).Count(); n != 1 {
+		t.Fatalf("histogram merge count: %d", n)
+	}
+	if parent.Trace.Len() != 1 {
+		t.Fatalf("trace merge: %d events", parent.Trace.Len())
+	}
+	var nilTel *Telemetry
+	nilTel.Merge(child) // no-ops must hold
+	parent.Merge(nil)
+}

@@ -13,6 +13,9 @@ go run ./cmd/tianhelint
 
 # The race detector needs cgo; fall back to plain tests on toolchains
 # without it (CGO_ENABLED=0 or no C compiler) so check works everywhere.
+# The -race run doubles as the gate for the parallel sweep runner: the
+# TestParDeterminism goldens in internal/experiments compare -par 1
+# against -par 8 byte for byte under the detector.
 if [ "$(go env CGO_ENABLED)" = "1" ]; then
     go test -race ./...
 else
