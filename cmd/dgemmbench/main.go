@@ -25,6 +25,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: the Figure 8 sweep)")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the sweep to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the sweep")
+	verify := flag.Bool("verify", false, "append the ABFT checksum-verification overhead table (cost of soft-error protection by size)")
 	par := flag.Int("par", 0, "worker count for the sweep (<=0: GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
@@ -71,6 +72,21 @@ func main() {
 		pipe.GainOver(acmlg, big)*100)
 	fmt.Printf("combined benefit (N > 8192):               %+.2f%%   (paper: +22.19%%)\n",
 		both.GainOver(acmlg, big)*100)
+
+	if *verify {
+		// The protection's price tag: the same Linpack-shaped workload with
+		// every task checksum-verified, no corruption injected.
+		vsizes := sizes
+		if vsizes == nil {
+			vsizes = []int{4864, 9728, 19456}
+		}
+		fmt.Println()
+		fmt.Println("ABFT verification overhead (no corruption injected)")
+		fmt.Printf("  %8s %14s %14s %10s\n", "N", "base s", "checks s", "overhead")
+		for _, c := range experiments.ABFTOverhead(*seed, vsizes, sweep.Workers(*par)) {
+			fmt.Printf("  %8d %14.3f %14.3f %+9.2f%%\n", c.N, c.BaseSeconds, c.VerifySeconds, c.OverheadPct)
+		}
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -145,3 +145,47 @@ func TestFailoverCheckpointWins(t *testing.T) {
 		t.Fatalf("checkpointed run redid %d iterations", res.Checkpointed.RedoneIterations)
 	}
 }
+
+// TestSDCAcceptance is the golden silent-data-corruption run, asserting the
+// scenario's headline claim at N=9728: every injected strike is detected
+// and localized, at least 90% are repaired by recomputing just the struck
+// task (sdc-single and sdc-dma correct 100% without touching a checkpoint),
+// the real-arithmetic LU residual stays under the HPL bound, and checksum
+// verification costs less than 5% of the virtual makespan. Byte-identical
+// for any worker count.
+func TestSDCAcceptance(t *testing.T) {
+	for _, sc := range []string{"sdc-single", "sdc-dma"} {
+		res, err := experiments.SDCSweep(sc, goldenSeed, 9728, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Injected == 0 {
+			t.Fatalf("%s: no strikes delivered — the scenario tested nothing", sc)
+		}
+		if err := experiments.SDCVerdict(res); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if int64(res.Faulted.SDCDetected) != res.Injected {
+			t.Fatalf("%s: %d delivered, %d detected", sc, res.Injected, res.Faulted.SDCDetected)
+		}
+		if f := res.CorrectedFrac(); f < experiments.SDCCorrectionTarget {
+			t.Fatalf("%s: corrected %.1f%% of detections", sc, 100*f)
+		}
+		if !res.ResidualPassed {
+			t.Fatalf("%s: real LU residual %g failed", sc, res.Residual)
+		}
+		if res.OverheadPct >= experiments.SDCVerifyBudgetPct {
+			t.Fatalf("%s: verification overhead %.2f%%", sc, res.OverheadPct)
+		}
+
+		par, err := experiments.SDCSweep(sc, goldenSeed, 9728, nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Healthy.Part, res.VerifyClean.Part, res.Faulted.Part = nil, nil, nil
+		par.Healthy.Part, par.VerifyClean.Part, par.Faulted.Part = nil, nil, nil
+		if !reflect.DeepEqual(res, par) {
+			t.Fatalf("%s: -par 1 and -par 8 sweeps diverged:\n%+v\nvs\n%+v", sc, res, par)
+		}
+	}
+}

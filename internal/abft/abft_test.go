@@ -1,0 +1,188 @@
+package abft
+
+import (
+	"math"
+	"testing"
+
+	"tianhe/internal/blas"
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// randomCase builds a random (m x k)(k x n) DGEMM with accumulation, runs
+// it for real, and returns the inputs, the clean output and its checksums.
+func randomCase(t *testing.T, seed uint64, m, n, k int, alpha, beta float64) (a, b, c *matrix.Dense, chk Check) {
+	t.Helper()
+	r := sim.NewStream(seed, "abft-test")
+	a, b = matrix.NewDense(m, k), matrix.NewDense(k, n)
+	c = matrix.NewDense(m, n)
+	a.FillRandom(r)
+	b.FillRandom(r)
+	c.FillRandom(r)
+	chk = Expect(alpha, a, b, beta, c)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+	return a, b, c, chk
+}
+
+func TestVerifyCleanOutput(t *testing.T) {
+	for _, tc := range []struct {
+		m, n, k     int
+		alpha, beta float64
+	}{
+		{64, 48, 32, 1, 0},
+		{64, 48, 32, -1, 1},
+		{1, 1, 1, 2.5, -0.5},
+		{37, 53, 41, -1, 1},
+		{128, 16, 96, 0.25, 3},
+	} {
+		_, _, c, chk := randomCase(t, 7, tc.m, tc.n, tc.k, tc.alpha, tc.beta)
+		v := Verify(c, chk)
+		if !v.OK {
+			t.Errorf("clean %dx%dx%d alpha=%g beta=%g flagged: rows %v cols %v",
+				tc.m, tc.n, tc.k, tc.alpha, tc.beta, v.Rows, v.Cols)
+		}
+	}
+}
+
+func TestDetectLocalizeCorrectSingleElement(t *testing.T) {
+	_, _, c, chk := randomCase(t, 11, 96, 80, 64, -1, 1)
+	orig := c.At(40, 17)
+	// A moderate additive corruption: far above tolerance, small enough
+	// that the in-place subtraction restores the element.
+	c.Set(40, 17, orig+1e4)
+	v := Verify(c, chk)
+	if v.OK {
+		t.Fatal("corruption not detected")
+	}
+	if !v.Correctable || v.Row != 40 || v.Col != 17 {
+		t.Fatalf("mislocalized: correctable=%v at (%d,%d), want (40,17)", v.Correctable, v.Row, v.Col)
+	}
+	CorrectSingle(c, v)
+	if after := Verify(c, chk); !after.OK {
+		t.Fatalf("correction did not close the checksums: rows %v cols %v", after.Rows, after.Cols)
+	}
+	if got := c.At(40, 17); math.Abs(got-orig) > chk.Tol {
+		t.Fatalf("corrected value %g differs from original %g beyond tolerance %g", got, orig, chk.Tol)
+	}
+}
+
+func TestDetectExponentFlipEvenAtNaN(t *testing.T) {
+	for _, coord := range [][2]int{{0, 0}, {31, 15}, {63, 47}} {
+		_, _, c, chk := randomCase(t, 13, 64, 48, 32, 1, 1)
+		i, j := coord[0], coord[1]
+		c.Set(i, j, FlipBit(c.At(i, j), 62))
+		v := Verify(c, chk)
+		if v.OK {
+			t.Fatalf("bit-62 flip at (%d,%d) not detected", i, j)
+		}
+		if len(v.Rows) != 1 || len(v.Cols) != 1 || v.Rows[0] != i || v.Cols[0] != j {
+			t.Fatalf("flip at (%d,%d) localized to rows %v cols %v", i, j, v.Rows, v.Cols)
+		}
+	}
+}
+
+func TestMultiFaultDetectedNotCorrectable(t *testing.T) {
+	_, _, c, chk := randomCase(t, 17, 64, 64, 32, 1, 0)
+	c.Set(3, 5, c.At(3, 5)+1e6)
+	c.Set(40, 50, c.At(40, 50)-1e6)
+	v := Verify(c, chk)
+	if v.OK {
+		t.Fatal("double corruption not detected")
+	}
+	if v.Correctable {
+		t.Fatalf("double corruption claimed correctable at (%d,%d)", v.Row, v.Col)
+	}
+	if len(v.Rows) != 2 || len(v.Cols) != 2 {
+		t.Fatalf("double corruption flagged rows %v cols %v", v.Rows, v.Cols)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		faults     int
+		inChecksum bool
+		want       Outcome
+	}{
+		{1, false, Recompute},
+		{0, false, Recompute},
+		{1, true, Escalate},
+		{2, false, Escalate},
+		{3, true, Escalate},
+	} {
+		if got := Classify(tc.faults, tc.inChecksum); got != tc.want {
+			t.Errorf("Classify(%d, %v) = %v, want %v", tc.faults, tc.inChecksum, got, tc.want)
+		}
+	}
+}
+
+func TestVerifyCostModel(t *testing.T) {
+	// The paper's trailing-update task shape: verification must stay well
+	// under the 5% overhead budget against the GPU kernel at its peak rate.
+	m, n, k := 8192, 8192, 1216
+	ver := VerifySeconds(m, n, k)
+	kernel := 2 * float64(m) * float64(n) * float64(k) / (230e9) // RV770-class DGEMM rate
+	if frac := ver / kernel; frac > 0.05 {
+		t.Fatalf("verification %.4fs is %.1f%% of the %.4fs kernel, over the 5%% budget", ver, 100*frac, kernel)
+	}
+	if VerifyFlops(2, 3, 4) != 2*4*(2+3)+2*2*3+2*(2+3) {
+		t.Fatal("VerifyFlops formula drifted")
+	}
+}
+
+func TestVerifierCorrectsInjectedFlips(t *testing.T) {
+	inner := func(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+	}
+	v := NewVerifier(inner)
+	v.SetInjector(NewBitFlipper(42, 1.0)) // strike every update
+
+	r := sim.NewStream(42, "abft-verifier-test")
+	want := matrix.NewDense(64, 64)
+	got := matrix.NewDense(64, 64)
+	for i := 0; i < 8; i++ {
+		a, b := matrix.NewDense(64, 48), matrix.NewDense(48, 64)
+		a.FillRandom(r)
+		b.FillRandom(r)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, a, b, 1, want)
+		v.Gemm(-1, a, b, 1, got)
+	}
+	if v.Updates != 8 || v.Injected != 8 {
+		t.Fatalf("updates=%d injected=%d, want 8/8", v.Updates, v.Injected)
+	}
+	if v.Detected != v.Injected {
+		t.Fatalf("detected %d of %d injected corruptions", v.Detected, v.Injected)
+	}
+	if v.Corrected+v.Recomputed != v.Detected {
+		t.Fatalf("corrected %d + recomputed %d != detected %d", v.Corrected, v.Recomputed, v.Detected)
+	}
+	// The verified output must match the clean result: recomputation
+	// replays identical arithmetic, and an in-place correction is only
+	// kept when it closes the checksums to within their tolerance.
+	if d := got.MaxDiff(want); d > 1e-9 {
+		t.Fatalf("verified output differs from clean run by %g", d)
+	}
+}
+
+func TestVerifierDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, int, float64) {
+		inner := func(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+		}
+		v := NewVerifier(inner)
+		v.SetInjector(NewBitFlipper(7, 0.5))
+		r := sim.NewStream(9, "abft-det")
+		c := matrix.NewDense(32, 32)
+		for i := 0; i < 12; i++ {
+			a, b := matrix.NewDense(32, 24), matrix.NewDense(24, 32)
+			a.FillRandom(r)
+			b.FillRandom(r)
+			v.Gemm(1, a, b, 1, c)
+		}
+		return v.Injected, v.Recomputed, c.NormFrob()
+	}
+	i1, r1, n1 := run()
+	i2, r2, n2 := run()
+	if i1 != i2 || r1 != r2 || n1 != n2 {
+		t.Fatalf("verifier runs diverged: (%d,%d,%g) vs (%d,%d,%g)", i1, r1, n1, i2, r2, n2)
+	}
+}

@@ -1,0 +1,101 @@
+package abft
+
+import (
+	"fmt"
+
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// GemmFunc is the wrapped DGEMM shape: C = alpha*A*B + beta*C. It matches
+// hpl.GemmFunc, so a Verifier's Gemm drops into hpl.Options.Gemm and every
+// trailing update of a real LU factorization runs checksum-verified.
+type GemmFunc func(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense)
+
+// Verifier wraps a real DGEMM in the full ABFT cycle: encode the expected
+// checksums from the inputs, run the kernel, (optionally) let an injector
+// corrupt the output, verify, and recover — in-place correction for a
+// localized single element, recomputation from the preserved inputs when
+// the corruption is uncorrectable or the correction cannot close the books.
+// The counters record every stage for honest reporting.
+type Verifier struct {
+	inner  GemmFunc
+	inject func(update int, c *matrix.Dense) int
+
+	// Updates counts wrapped calls; Injected the elements corrupted by the
+	// injector; Detected the updates whose verification failed; Corrected
+	// the detections repaired in place; Recomputed the detections repaired
+	// by re-executing the update from preserved inputs.
+	Updates, Injected, Detected, Corrected, Recomputed int
+}
+
+// NewVerifier wraps inner in checksum verification.
+func NewVerifier(inner GemmFunc) *Verifier {
+	return &Verifier{inner: inner}
+}
+
+// SetInjector installs a corruption hook called after each wrapped kernel
+// with the update index and the freshly computed output; it returns how
+// many elements it corrupted.
+func (v *Verifier) SetInjector(fn func(update int, c *matrix.Dense) int) {
+	v.inject = fn
+}
+
+// Gemm runs one verified update. The output is guaranteed correct on
+// return: any injected corruption is detected and repaired before the
+// caller sees C.
+func (v *Verifier) Gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	chk := Expect(alpha, a, b, beta, c)
+	// Preserve the pre-update C: recomputation needs the original
+	// accumulator, and beta*C0 is part of the checksum equation.
+	c0 := c.Clone()
+	v.inner(alpha, a, b, beta, c)
+	if v.inject != nil {
+		v.Injected += v.inject(v.Updates, c)
+	}
+	v.Updates++
+
+	verdict := Verify(c, chk)
+	if verdict.OK {
+		return
+	}
+	v.Detected++
+	if verdict.Correctable {
+		CorrectSingle(c, verdict)
+		if Verify(c, chk).OK {
+			v.Corrected++
+			return
+		}
+		// The corrupted magnitude swamped the checksum's precision (high
+		// exponent-bit flip): the subtraction left residue above tolerance.
+		// Fall through to recomputation.
+	}
+	c.CopyFrom(c0)
+	v.inner(alpha, a, b, beta, c)
+	v.Recomputed++
+	if !Verify(c, chk).OK {
+		panic("abft: recomputed update still fails verification — corruption in the inputs, not the task")
+	}
+}
+
+// NewBitFlipper returns a deterministic corruption hook for SetInjector:
+// with probability prob per update it flips a high exponent bit (bit 62) of
+// one uniformly chosen output element. Every decision draws from the
+// per-update stream "abft/flip/update<i>", so corruption depends only on
+// the seed and the update index — never on call timing — keeping verified
+// runs bit-reproducible under any worker count.
+func NewBitFlipper(seed uint64, prob float64) func(update int, c *matrix.Dense) int {
+	return func(update int, c *matrix.Dense) int {
+		r := sim.NewStream(seed, fmt.Sprintf("abft/flip/update%d", update))
+		if c.Rows == 0 || c.Cols == 0 || r.Float64() >= prob {
+			return 0
+		}
+		i, j := r.Intn(c.Rows), r.Intn(c.Cols)
+		// Bit 62 guarantees a detectable delta for any operand value: it
+		// moves the exponent by 2^10, so the corrupted element differs from
+		// the original by far more than any rounding tolerance (a zero
+		// becomes 2.0; a NaN result still trips verification).
+		c.Set(i, j, FlipBit(c.At(i, j), 62))
+		return 1
+	}
+}

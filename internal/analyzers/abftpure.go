@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// ABFTPure holds package abft to a stricter contract than the rest of the
+// tree: the checksum codec runs inside pipeline flushes and hybrid joins,
+// concurrently across sweep workers, and its verdicts decide whether tasks
+// are recomputed or whole runs roll back to a checkpoint. A verdict must
+// therefore be a pure function of the matrix bytes — no wall-clock reads,
+// no ambient randomness (injection randomness comes from the caller's
+// seeded stream), and no package-level mutable state that one verification
+// could leak into the next.
+var ABFTPure = &Analyzer{
+	Name: "abftpure",
+	Doc: "hold package abft pure: no time package calls, no math/rand or " +
+		"math/rand/v2, and no writes to package-level variables — checksum " +
+		"verdicts must depend only on their inputs so concurrent " +
+		"verifications are race-free and every detection replays from its seed",
+	Run: runABFTPure,
+}
+
+func runABFTPure(pass *Pass) {
+	if pass.Pkg.Name() != "abft" {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if name, ok := pkgFunc(pass.TypesInfo, e, "time"); ok {
+					pass.Reportf(e.Pos(),
+						"time.%s in package abft: checksum verification must not touch the clock; verdicts depend only on the matrix bytes", name)
+				}
+				for path := range randPaths {
+					if name, ok := pkgFunc(pass.TypesInfo, e, path); ok {
+						pass.Reportf(e.Pos(),
+							"%s.%s in package abft: injection randomness must come from the caller's seeded stream, not ambient rand", path, name)
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if v, ok := packageLevelTarget(pass.TypesInfo, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"write to package-level variable %s in package abft: verification state must live in the Verifier or on the stack so concurrent checks cannot interfere", v.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if v, ok := packageLevelTarget(pass.TypesInfo, e.X); ok {
+					pass.Reportf(e.Pos(),
+						"write to package-level variable %s in package abft: verification state must live in the Verifier or on the stack so concurrent checks cannot interfere", v.Name())
+				}
+			}
+			return true
+		})
+	}
+}

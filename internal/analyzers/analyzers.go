@@ -84,6 +84,7 @@ func All() []*Analyzer {
 		MapIterOrder,
 		MutexCopy,
 		SweepPure,
+		ABFTPure,
 	}
 }
 

@@ -13,9 +13,10 @@ func TestFloatEq(t *testing.T)      { RunFixture(t, FloatEq, "floateq") }
 func TestMapIterOrder(t *testing.T) { RunFixture(t, MapIterOrder, "mapiterorder") }
 func TestMutexCopy(t *testing.T)    { RunFixture(t, MutexCopy, "mutexcopy") }
 func TestSweepPure(t *testing.T)    { RunFixture(t, SweepPure, "sweeppure") }
+func TestABFTPure(t *testing.T)     { RunFixture(t, ABFTPure, "abftpure") }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy", "sweeppure"}
+	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy", "sweeppure", "abftpure"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

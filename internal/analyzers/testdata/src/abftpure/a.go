@@ -1,0 +1,74 @@
+// Package abft here is a tianhelint fixture: the abftpure check gates on
+// the package name, so this stand-in exercises every forbidden shape —
+// clock reads, ambient randomness, and package-level writes — alongside
+// the legal ones (locals, receiver fields, reads of package state).
+package abft
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+var generation int
+var thresholds = map[int]float64{}
+var lastVerdict *int
+
+// Verifier-style receiver state is the sanctioned home for counters.
+type codec struct {
+	checked   int
+	tolerance float64
+}
+
+func badClock() float64 {
+	start := time.Now()                // want "time.Now in package abft"
+	return time.Since(start).Seconds() // want "time.Since in package abft"
+}
+
+func badDeadline(d time.Duration) { // want "time.Duration in package abft"
+	time.Sleep(d) // want "time.Sleep in package abft"
+}
+
+func badRandV1() float64 {
+	return rand.Float64() // want "math/rand.Float64 in package abft"
+}
+
+func badRandV2() uint64 {
+	return randv2.Uint64() // want "math/rand/v2.Uint64 in package abft"
+}
+
+func badGlobalWrite(v int) {
+	generation = v // want "write to package-level variable generation"
+	generation++   // want "write to package-level variable generation"
+}
+
+func badMapWrite(k int, v float64) {
+	thresholds[k] = v // want "write to package-level variable thresholds"
+}
+
+func badDerefWrite(v int) {
+	*lastVerdict = v // want "write to package-level variable lastVerdict"
+}
+
+func goodLocalState(xs []float64) float64 {
+	sum := 0.0
+	count := 0
+	for _, x := range xs {
+		sum += x
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func (c *codec) goodReceiverState(x float64) bool {
+	c.checked++
+	return x <= c.tolerance
+}
+
+func goodRead() int {
+	// Reading package state is fine; only writes are flagged.
+	return generation + len(thresholds)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tianhe/internal/telemetry"
+)
+
+func TestSDCSweepSingleAcceptance(t *testing.T) {
+	res, err := SDCSweep("sdc-single", DefaultSeed, 9728, telemetry.Disabled(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SDCVerdict(res); err != nil {
+		t.Fatalf("acceptance verdict: %v\n%+v", err, res)
+	}
+	if res.Injected == 0 || res.RealInjected == 0 {
+		t.Fatalf("nothing injected: %+v", res)
+	}
+	if res.Faulted.SDCEscalated != 0 {
+		t.Fatalf("single-element scenario escalated %d strikes", res.Faulted.SDCEscalated)
+	}
+	if res.FaultedPct <= 0 {
+		t.Fatalf("recovery under fire was free: %+v%%", res.FaultedPct)
+	}
+}
+
+func TestSDCSweepBurstEscalationDrill(t *testing.T) {
+	res, err := SDCSweep("sdc-burst", DefaultSeed, 9728, telemetry.Disabled(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faulted.SDCEscalated == 0 || res.Faulted.SDCRestores == 0 {
+		t.Fatalf("burst scenario must exercise the escalation path: %+v", res.Faulted)
+	}
+	if !res.AllDetected() {
+		t.Fatalf("burst strikes escaped detection: %d delivered, %d detected",
+			res.Injected, res.Faulted.SDCDetected)
+	}
+	// The drill deliberately fails the correction-rate floor — escalation is
+	// the whole point — so the verdict must flag it rather than pass.
+	if err := SDCVerdict(res); err == nil {
+		t.Fatal("verdict passed an all-escalation scenario")
+	}
+}
+
+func TestSDCSweepRejectsUnknownScenario(t *testing.T) {
+	if _, err := SDCSweep("sdc-nonsense", DefaultSeed, 2432, telemetry.Disabled(), 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestABFTOverheadMonotoneBudget(t *testing.T) {
+	cells := ABFTOverhead(DefaultSeed, []int{4864, 9728}, 2)
+	for _, c := range cells {
+		if c.VerifySeconds <= 0 {
+			t.Fatalf("N=%d: no verification time booked", c.N)
+		}
+		if c.OverheadPct < 0 || c.OverheadPct >= SDCVerifyBudgetPct {
+			t.Fatalf("N=%d: overhead %.2f%% outside [0, %v)", c.N, c.OverheadPct, SDCVerifyBudgetPct)
+		}
+	}
+}
+
+func TestParDeterminismSDCSweep(t *testing.T) {
+	for _, scenario := range []string{"sdc-single", "sdc-single+degraded-gpu", "sdc-dma+flaky-net"} {
+		run := func(par int) ([]byte, []byte) {
+			tel := telemetry.New()
+			res, err := SDCSweep(scenario, DefaultSeed, 4864, tel, par)
+			if err != nil {
+				t.Fatalf("%s: %v", scenario, err)
+			}
+			res.Healthy.Part, res.VerifyClean.Part, res.Faulted.Part = nil, nil, nil
+			return []byte(fmt.Sprintf("%+v\n", res)), telBytes(t, tel)
+		}
+		res1, tel1 := run(1)
+		res8, tel8 := run(8)
+		diffBytes(t, scenario+" result", res1, res8)
+		diffBytes(t, scenario+" telemetry", tel1, tel8)
+	}
+}
+
+func TestParDeterminismABFTOverhead(t *testing.T) {
+	run := func(par int) []byte {
+		var buf bytes.Buffer
+		for _, c := range ABFTOverhead(DefaultSeed, []int{2432, 4864}, par) {
+			fmt.Fprintf(&buf, "%+v\n", c)
+		}
+		return buf.Bytes()
+	}
+	diffBytes(t, "ABFTOverhead cells", run(1), run(8))
+}

@@ -64,12 +64,20 @@ const (
 	// ElementFail kills the whole element at Start; linpacksim's failover
 	// path restarts it from the last checkpoint.
 	ElementFail
+	// SDCKernel flips bits in GPU task outputs: each task drained during
+	// the window is struck with probability Magnitude, corrupting Faults
+	// elements (0 means 1). Strikes never perturb timing by themselves —
+	// the ABFT verification layer detects and recovers them.
+	SDCKernel
+	// SDCDMA flips bits in DMA transfer buffers: same strike model as
+	// SDCKernel, hitting the task's output on its way back to the host.
+	SDCDMA
 )
 
 var kindNames = [...]string{
 	"gpu.degrade", "gpu.loss", "gpu.stall", "dma.degrade",
 	"cpu.throttle", "cpu.jitter_storm", "link.degrade", "link.drop",
-	"element.fail",
+	"element.fail", "sdc.kernel", "sdc.dma",
 }
 
 func (k Kind) String() string {
@@ -92,6 +100,11 @@ type Event struct {
 	Core int
 	// CrossCabinetOnly restricts link faults to inter-cabinet messages.
 	CrossCabinetOnly bool
+	// Faults is how many elements an SDC strike corrupts in one task's
+	// output tile (0 selects 1). A single fault is localizable and
+	// correctable by task recomputation; more escalate to checkpoint
+	// restore (see abft.Classify).
+	Faults int
 }
 
 // active reports whether the event covers t. Windows are half-open
@@ -117,6 +130,13 @@ func (e Event) validate() error {
 		if e.Magnitude < 0 {
 			return fmt.Errorf("fault: %s sigma %v negative", e.Kind, e.Magnitude)
 		}
+	case SDCKernel, SDCDMA:
+		if e.Magnitude < 0 || e.Magnitude > 1 {
+			return fmt.Errorf("fault: %s strike probability %v outside [0, 1]", e.Kind, e.Magnitude)
+		}
+		if e.Faults < 0 {
+			return fmt.Errorf("fault: %s fault count %d negative", e.Kind, e.Faults)
+		}
 	}
 	return nil
 }
@@ -131,9 +151,10 @@ type Injector struct {
 	stalls          []Event // GPUStall events, sorted by Start
 	ranksPerCabinet int
 
-	mu      sync.Mutex
-	netRNG  map[int]*sim.RNG
-	coreRNG map[int]*sim.RNG
+	mu           sync.Mutex
+	netRNG       map[int]*sim.RNG
+	coreRNG      map[int]*sim.RNG
+	sdcDelivered int64
 
 	probes *injectorProbes // nil when telemetry is disabled
 }
@@ -144,6 +165,7 @@ type injectorProbes struct {
 	stalls     *telemetry.Counter // GPU queue operations stretched
 	stallSec   *telemetry.Gauge   // total stretch inserted, virtual seconds
 	jitterHits *telemetry.Counter // storm draws applied to CPU slices
+	sdcStrikes *telemetry.Counter // SDC strikes delivered to task outputs
 }
 
 // New builds an injector over the given events. The seed feeds the named
@@ -211,6 +233,7 @@ func (in *Injector) Instrument(tel *telemetry.Telemetry) {
 		stalls:     tel.Counter("fault.gpu.stall_stretches"),
 		stallSec:   tel.Gauge("fault.gpu.stall_seconds"),
 		jitterHits: tel.Counter("fault.cpu.storm_draws"),
+		sdcStrikes: tel.Counter("fault.sdc.strikes"),
 	}
 	tel.Gauge("fault.scheduled_events").Set(float64(len(in.events)))
 	for _, e := range in.events {
@@ -431,6 +454,103 @@ func (in *Injector) GPURestoreEnd() (sim.Time, bool) {
 		}
 	}
 	return last, ok
+}
+
+// ---- silent data corruption -----------------------------------------------
+
+// SDCHit describes one delivered corruption strike on a task's output tile.
+// Coordinates index the checksum-encoded (rows+1) x (cols+1) tile: Row ==
+// rows or Col == cols means the checksum row/column itself was hit, which
+// makes the corruption uncorrectable (see abft.Classify).
+type SDCHit struct {
+	// Kind is SDCKernel or SDCDMA — where the flip happened.
+	Kind Kind
+	// Row, Col locate the first corrupted element in the encoded tile.
+	Row, Col int
+	// Bit is the flipped IEEE-754 bit (a high exponent bit: the delta is
+	// always far above the verification tolerance, so a delivered strike
+	// is a detectable strike).
+	Bit int
+	// Faults is how many elements this strike corrupted.
+	Faults int
+	// InChecksum reports whether any corrupted element landed in the
+	// checksum row or column.
+	InChecksum bool
+}
+
+// SDCTask decides whether the task drained at the given time is struck by
+// silent data corruption. taskIndex must be the task's position in the
+// run's global drain order: every decision draws from the per-task stream
+// "fault/sdc/task<i>", so strikes depend only on the seed and the task
+// index — identical whether tasks verify serially or on a worker pool.
+// rows x cols is the task's output tile (excluding checksums). Nil
+// injector, or no active SDC window, reports no strike.
+func (in *Injector) SDCTask(taskIndex int, drain sim.Time, rows, cols int) (SDCHit, bool) {
+	if in == nil {
+		return SDCHit{}, false
+	}
+	var hit SDCHit
+	struck := false
+	// One fresh stream per (seed, task index): repeated queries for the
+	// same task replay identically, and no per-task state accumulates.
+	var r *sim.RNG
+	for _, e := range in.events {
+		if (e.Kind != SDCKernel && e.Kind != SDCDMA) || !e.active(drain) || e.Magnitude <= 0 {
+			continue
+		}
+		if r == nil {
+			r = sim.NewStream(in.seed, fmt.Sprintf("fault/sdc/task%d", taskIndex))
+		}
+		if r.Float64() >= e.Magnitude {
+			continue
+		}
+		faults := e.Faults
+		if faults <= 0 {
+			faults = 1
+		}
+		if !struck {
+			struck = true
+			hit.Kind = e.Kind
+			// The strike position is uniform over the encoded tile, so the
+			// checksum row/column is hit with its natural probability
+			// (m+n+1 out of (m+1)(n+1) elements — vanishing for the
+			// paper's 8192-wide tiles).
+			hit.Row = r.Intn(rows + 1)
+			hit.Col = r.Intn(cols + 1)
+			hit.Bit = 52 + r.Intn(11) // high mantissa / exponent bits
+			hit.InChecksum = hit.Row == rows || hit.Col == cols
+			hit.Faults = faults
+			for extra := 1; extra < faults; extra++ {
+				ri, ci := r.Intn(rows+1), r.Intn(cols+1)
+				if ri == rows || ci == cols {
+					hit.InChecksum = true
+				}
+			}
+		} else {
+			// Overlapping SDC windows compound: more faults in the tile.
+			hit.Faults += faults
+		}
+	}
+	if struck {
+		in.mu.Lock()
+		in.sdcDelivered++
+		in.mu.Unlock()
+		if pr := in.probes; pr != nil {
+			pr.sdcStrikes.Inc()
+		}
+	}
+	return hit, struck
+}
+
+// SDCDelivered returns how many corruption strikes the injector has
+// delivered so far; 0 for a nil injector.
+func (in *Injector) SDCDelivered() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.sdcDelivered
 }
 
 // ---- decision streams -----------------------------------------------------

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"strings"
 
 	"tianhe/internal/sim"
 )
@@ -10,16 +11,30 @@ import (
 // the fault-free reference every other scenario is measured against.
 var Scenarios = []string{
 	"healthy", "degraded-gpu", "lost-gpu", "flaky-net", "jitter-storm", "element-fail",
+	"sdc-single", "sdc-dma", "sdc-burst",
 }
 
 // Scenario returns the event schedule for a named scenario, scaled to a
 // run whose healthy makespan is horizon: window boundaries are fixed
 // fractions of the horizon, so the same scenario stresses the same phase
 // of a run regardless of problem size. "healthy" returns no events (attach
-// its empty injector to measure hook overhead). Unknown names error.
+// its empty injector to measure hook overhead). Compound names joined with
+// "+" (e.g. "sdc-single+degraded-gpu") concatenate the schedules of every
+// part — soft errors layer onto timing faults. Unknown names error.
 func Scenario(name string, horizon sim.Time) ([]Event, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("fault: scenario horizon %v not positive", horizon)
+	}
+	if parts := strings.Split(name, "+"); len(parts) > 1 {
+		var all []Event
+		for _, p := range parts {
+			evs, err := Scenario(p, horizon)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, evs...)
+		}
+		return all, nil
 	}
 	h := horizon
 	switch name {
@@ -61,6 +76,28 @@ func Scenario(name string, horizon sim.Time) ([]Event, error) {
 		// path restarts it from the last checkpoint.
 		return []Event{
 			{Kind: ElementFail, Start: 0.50 * h},
+		}, nil
+	case "sdc-single":
+		// Single-element kernel flips over most of the run: each GPU task
+		// drained in the window is struck with probability 0.35, flipping
+		// one high exponent bit. ABFT detects every strike, localizes it,
+		// and recovers by recomputing just the affected task — the
+		// acceptance scenario of the SDC sweep.
+		return []Event{
+			{Kind: SDCKernel, Start: 0.10 * h, End: 0.90 * h, Magnitude: 0.35, Faults: 1},
+		}, nil
+	case "sdc-dma":
+		// Flips on the DMA return path instead of in the kernel: the same
+		// detect/localize/recompute story, attributed to the transfer.
+		return []Event{
+			{Kind: SDCDMA, Start: 0.15 * h, End: 0.85 * h, Magnitude: 0.30, Faults: 1},
+		}, nil
+	case "sdc-burst":
+		// A concentrated burst of multi-element corruption mid-run: three
+		// flips per struck tile defeat single-element localization, so
+		// every strike escalates to the checkpoint restore path.
+		return []Event{
+			{Kind: SDCKernel, Start: 0.40 * h, End: 0.60 * h, Magnitude: 0.50, Faults: 3},
 		}, nil
 	}
 	return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Scenarios)

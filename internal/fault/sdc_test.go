@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"testing"
+
+	"tianhe/internal/telemetry"
+)
+
+func TestSDCTaskNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if _, struck := in.SDCTask(0, 1, 64, 64); struck {
+		t.Fatal("nil injector delivered a strike")
+	}
+	if in.SDCDelivered() != 0 {
+		t.Fatal("nil injector counted deliveries")
+	}
+}
+
+func TestSDCTaskWindowGating(t *testing.T) {
+	in := New(7, Event{Kind: SDCKernel, Start: 10, End: 20, Magnitude: 1, Faults: 1})
+	if _, struck := in.SDCTask(0, 5, 32, 32); struck {
+		t.Fatal("strike before the window")
+	}
+	if _, struck := in.SDCTask(1, 20, 32, 32); struck {
+		t.Fatal("strike at the half-open window end")
+	}
+	hit, struck := in.SDCTask(2, 15, 32, 32)
+	if !struck {
+		t.Fatal("no strike inside a Magnitude-1 window")
+	}
+	if hit.Kind != SDCKernel || hit.Faults != 1 {
+		t.Fatalf("hit = %+v, want kind sdc.kernel faults 1", hit)
+	}
+	if hit.Row < 0 || hit.Row > 32 || hit.Col < 0 || hit.Col > 32 {
+		t.Fatalf("hit position (%d,%d) outside the 33x33 encoded tile", hit.Row, hit.Col)
+	}
+	if hit.Bit < 52 || hit.Bit > 62 {
+		t.Fatalf("hit bit %d outside the high mantissa/exponent range", hit.Bit)
+	}
+	if hit.InChecksum != (hit.Row == 32 || hit.Col == 32) {
+		t.Fatalf("InChecksum=%v disagrees with position (%d,%d)", hit.InChecksum, hit.Row, hit.Col)
+	}
+	if in.SDCDelivered() != 1 {
+		t.Fatalf("delivered = %d, want 1", in.SDCDelivered())
+	}
+}
+
+func TestSDCTaskDeterministicPerTaskIndex(t *testing.T) {
+	mk := func() *Injector {
+		return New(42, Event{Kind: SDCKernel, Start: 0, End: 100, Magnitude: 0.5, Faults: 1})
+	}
+	a, b := mk(), mk()
+	// Query b in reverse order: strikes must depend only on the task
+	// index, never on query order — the parallel-sweep determinism
+	// contract.
+	type rec struct {
+		hit    SDCHit
+		struck bool
+	}
+	got := make([]rec, 64)
+	want := make([]rec, 64)
+	for i := 0; i < 64; i++ {
+		h, s := a.SDCTask(i, 50, 128, 128)
+		want[i] = rec{h, s}
+	}
+	for i := 63; i >= 0; i-- {
+		h, s := b.SDCTask(i, 50, 128, 128)
+		got[i] = rec{h, s}
+	}
+	struck := 0
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("task %d strike differs with query order: %+v vs %+v", i, want[i], got[i])
+		}
+		if want[i].struck {
+			struck++
+		}
+	}
+	if struck == 0 || struck == 64 {
+		t.Fatalf("strike count %d/64 not consistent with Magnitude 0.5", struck)
+	}
+	// Replaying the same task index replays the same decision.
+	h1, s1 := mk().SDCTask(7, 50, 128, 128)
+	h2, s2 := mk().SDCTask(7, 50, 128, 128)
+	if h1 != h2 || s1 != s2 {
+		t.Fatal("same task index replayed differently")
+	}
+}
+
+func TestSDCBurstEscalates(t *testing.T) {
+	in := New(3, Event{Kind: SDCKernel, Start: 0, End: 10, Magnitude: 1, Faults: 3})
+	hit, struck := in.SDCTask(0, 5, 64, 64)
+	if !struck || hit.Faults != 3 {
+		t.Fatalf("burst hit = %+v struck=%v, want 3 faults", hit, struck)
+	}
+}
+
+func TestSDCKindsDoNotPerturbTiming(t *testing.T) {
+	in := New(5, Event{Kind: SDCKernel, Start: 0, End: 100, Magnitude: 1, Faults: 1})
+	if f := in.KernelFactor(50); f != 1 {
+		t.Fatalf("SDC window changed the kernel factor to %v", f)
+	}
+	if f := in.TransferFactor(50); f != 1 {
+		t.Fatalf("SDC window changed the transfer factor to %v", f)
+	}
+	if in.LostIn(0, 100) {
+		t.Fatal("SDC window reported a device loss")
+	}
+}
+
+func TestScenarioComposition(t *testing.T) {
+	single, err := Scenario("sdc-single", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Scenario("degraded-gpu", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Scenario("sdc-single+degraded-gpu", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != len(single)+len(degraded) {
+		t.Fatalf("composed schedule has %d events, want %d", len(both), len(single)+len(degraded))
+	}
+	for i, e := range single {
+		if both[i] != e {
+			t.Fatalf("composed event %d = %+v, want %+v", i, both[i], e)
+		}
+	}
+	for i, e := range degraded {
+		if both[len(single)+i] != e {
+			t.Fatalf("composed event %d = %+v, want %+v", len(single)+i, both[len(single)+i], e)
+		}
+	}
+	if _, err := Scenario("sdc-single+no-such-scenario", 100); err == nil {
+		t.Fatal("unknown compound part did not error")
+	}
+	// Composing with healthy is the identity.
+	alone, err := Scenario("sdc-dma+healthy", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma, _ := Scenario("sdc-dma", 100)
+	if len(alone) != len(dma) {
+		t.Fatalf("healthy composition changed the schedule: %d vs %d events", len(alone), len(dma))
+	}
+}
+
+func TestSDCScenariosValidate(t *testing.T) {
+	for _, name := range []string{"sdc-single", "sdc-dma", "sdc-burst"} {
+		in, err := NewScenario(name, 123.0, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(in.Events()) == 0 {
+			t.Fatalf("%s schedules no events", name)
+		}
+	}
+}
+
+func TestSDCInstrumented(t *testing.T) {
+	tel := telemetry.New()
+	in := New(11, Event{Kind: SDCKernel, Start: 0, End: 10, Magnitude: 1, Faults: 1})
+	in.Instrument(tel)
+	in.SDCTask(0, 5, 16, 16)
+	in.SDCTask(1, 5, 16, 16)
+	if got := tel.Counter("fault.sdc.strikes").Value(); got != 2 {
+		t.Fatalf("fault.sdc.strikes = %d, want 2", got)
+	}
+}

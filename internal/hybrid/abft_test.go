@@ -1,0 +1,106 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+	"tianhe/internal/telemetry"
+)
+
+func abftRunner(seed uint64) *Runner {
+	el := element.New(element.Config{Seed: seed, Virtual: true, JitterSigma: -1})
+	return New(el, element.ACMLGBoth, newPart(el))
+}
+
+func TestEnableABFTBooksVerification(t *testing.T) {
+	base := abftRunner(3).GemmVirtual(8192, 8192, 1024, 1, 0)
+
+	run := abftRunner(3)
+	run.EnableABFT(nil)
+	rep := run.GemmVirtual(8192, 8192, 1024, 1, 0)
+
+	if rep.VerifySeconds <= 0 {
+		t.Fatal("ABFT on but no verification time booked")
+	}
+	if rep.End <= base.End {
+		t.Fatalf("verified run end %v not past baseline %v", rep.End, base.End)
+	}
+	if rep.SDCDetected != 0 || rep.SDCCorrected != 0 || rep.SDCEscalated != 0 {
+		t.Fatalf("nil injector delivered strikes: %+v", rep)
+	}
+	// The checks must stay a small fraction of the work on a large slab.
+	if frac := rep.VerifySeconds / rep.Seconds(); frac >= 0.10 {
+		t.Fatalf("verification is %.1f%% of the hybrid makespan", 100*frac)
+	}
+}
+
+func TestABFTDetectsOnGPUSideOnly(t *testing.T) {
+	in := fault.New(5, fault.Event{
+		Kind: fault.SDCKernel, Start: 0, End: 1e9, Magnitude: 1, Faults: 1,
+	})
+	run := abftRunner(9)
+	run.EnableABFT(in)
+	rep := run.GemmVirtual(8192, 8192, 1024, 1, 0)
+
+	if rep.GSplit <= 0 || rep.GSplit >= 1 {
+		t.Fatalf("expected a genuine hybrid split, got GSplit=%v", rep.GSplit)
+	}
+	if rep.SDCDetected == 0 {
+		t.Fatal("Magnitude-1 window but no GPU task strikes detected")
+	}
+	if rep.SDCCorrected+rep.SDCEscalated != rep.SDCDetected {
+		t.Fatalf("outcome counts inconsistent: %+v", rep)
+	}
+	if got := in.SDCDelivered(); got != int64(rep.SDCDetected) {
+		t.Fatalf("injector delivered %d strikes, report detected %d — every strike must be caught", got, rep.SDCDetected)
+	}
+}
+
+func TestABFTDeterministic(t *testing.T) {
+	run := func() Report {
+		r := abftRunner(11)
+		r.EnableABFT(fault.New(7, fault.Event{
+			Kind: fault.SDCKernel, Start: 0, End: 1e9, Magnitude: 0.4, Faults: 1,
+		}))
+		var rep Report
+		for i := 0; i < 4; i++ {
+			rep = r.GemmVirtual(4096, 4096, 1024, 1, rep.End)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.End != b.End || a.SDCDetected != b.SDCDetected || a.SDCCorrected != b.SDCCorrected {
+		t.Fatalf("ABFT runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestABFTTelemetry(t *testing.T) {
+	tel := telemetry.New()
+	run := abftRunner(13)
+	run.Instrument(tel)
+	run.EnableABFT(fault.New(2, fault.Event{
+		Kind: fault.SDCDMA, Start: 0, End: 1e9, Magnitude: 1, Faults: 1,
+	}))
+	rep := run.GemmVirtual(8192, 8192, 1024, 1, 0)
+
+	if got := tel.Counter("hybrid.sdc.detected").Value(); got != int64(rep.SDCDetected) {
+		t.Fatalf("hybrid.sdc.detected = %d, want %d", got, rep.SDCDetected)
+	}
+	if got := tel.Gauge("hybrid.abft.verify_seconds").Value(); got != rep.VerifySeconds {
+		t.Fatalf("hybrid.abft.verify_seconds = %v, want %v", got, rep.VerifySeconds)
+	}
+}
+
+func TestABFTOffKeepsMetricsUnregistered(t *testing.T) {
+	tel := telemetry.New()
+	run := abftRunner(17)
+	run.Instrument(tel)
+	run.GemmVirtual(4096, 4096, 1024, 1, 0)
+	var sb strings.Builder
+	tel.Metrics.WriteText(&sb)
+	if strings.Contains(sb.String(), "hybrid.sdc") || strings.Contains(sb.String(), "hybrid.abft") {
+		t.Fatalf("ABFT metrics registered on a non-ABFT run:\n%s", sb.String())
+	}
+}

@@ -9,8 +9,10 @@ package hybrid
 import (
 	"fmt"
 
+	"tianhe/internal/abft"
 	"tianhe/internal/adaptive"
 	"tianhe/internal/element"
+	"tianhe/internal/fault"
 	"tianhe/internal/matrix"
 	"tianhe/internal/pipeline"
 	"tianhe/internal/sim"
@@ -39,6 +41,14 @@ type Report struct {
 	CoreWorks, CoreTimes []float64
 	// BytesIn/BytesOut/BytesSkipped mirror the pipeline report.
 	BytesIn, BytesOut, BytesSkipped int64
+	// SDCDetected/Corrected/Escalated aggregate the ABFT outcomes of the
+	// GPU tasks (EnableABFT); RecomputedTasks counts task re-executions.
+	// CPU slabs are verified too but never struck — the host memory is ECC
+	// protected, so soft errors are a device/DMA phenomenon here.
+	SDCDetected, SDCCorrected, SDCEscalated, RecomputedTasks int
+	// VerifySeconds is the host time spent on checksum verification across
+	// both sides, already included in TG/TC/End.
+	VerifySeconds float64
 }
 
 // Seconds returns the end-to-end duration.
@@ -66,6 +76,10 @@ type Runner struct {
 	fallback       bool
 	rewarmHalfLife float64
 	gpuDown        bool // currently running in CPU-only fallback
+
+	// abft enables checksum verification of every GPU task at its EO drain
+	// and every CPU slab at its join (EnableABFT).
+	abft bool
 }
 
 // runnerProbes holds the runner's metric handles, fetched once so the
@@ -77,6 +91,23 @@ type runnerProbes struct {
 	balance            *telemetry.Histogram // TC/TG ratio: 1.0 = perfectly balanced split
 	tracer             *telemetry.Tracer
 	utilGPU, utilCores *telemetry.Gauge
+
+	// ABFT probes, registered lazily on the first verified execution so
+	// runs without verification keep their metric dumps unchanged.
+	tel                            *telemetry.Telemetry
+	sdcDetected, sdcCorr, sdcEscal *telemetry.Counter
+	verifySeconds                  *telemetry.Gauge
+}
+
+// sdcProbes fetches the ABFT metric handles on first use.
+func (pr *runnerProbes) sdcProbes() {
+	if pr.sdcDetected != nil {
+		return
+	}
+	pr.sdcDetected = pr.tel.Counter("hybrid.sdc.detected")
+	pr.sdcCorr = pr.tel.Counter("hybrid.sdc.corrected")
+	pr.sdcEscal = pr.tel.Counter("hybrid.sdc.escalated")
+	pr.verifySeconds = pr.tel.Gauge("hybrid.abft.verify_seconds")
 }
 
 // gflopsBuckets span the single-element rates of Figures 8/9.
@@ -105,6 +136,7 @@ func (r *Runner) Instrument(tel *telemetry.Telemetry) {
 		tracer:    tel.Trace,
 		utilGPU:   tel.Gauge("element.util.gpu_queue"),
 		utilCores: tel.Gauge("element.util.cpu_cores"),
+		tel:       tel,
 	}
 }
 
@@ -139,6 +171,18 @@ func New(el *element.Element, v element.Variant, part adaptive.Partitioner) *Run
 func (r *Runner) EnableGPUFaultFallback(rewarmHalfLife float64) {
 	r.fallback = true
 	r.rewarmHalfLife = rewarmHalfLife
+}
+
+// EnableABFT turns on Huang-Abraham checksum verification: every GPU task
+// is checked at its EO drain (localizable corruption recovered by
+// re-enqueueing just that task, see pipeline.Options.Verify) and every CPU
+// slab at its join. sdc optionally supplies deterministic corruption
+// strikes to the GPU side (nil: verification runs, nothing strikes); CPU
+// slabs are never struck — host memory is ECC protected in this model, so
+// their verification only books its honest time cost.
+func (r *Runner) EnableABFT(sdc *fault.Injector) {
+	r.abft = true
+	r.exec.EnableVerify(sdc)
 }
 
 // Variant returns the runner's configuration.
@@ -302,6 +346,11 @@ func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix
 		}
 		rep.TG = prep.End - earliest
 		rep.BytesIn, rep.BytesOut, rep.BytesSkipped = prep.BytesIn, prep.BytesOut, prep.BytesSkipped
+		rep.SDCDetected += prep.SDCDetected
+		rep.SDCCorrected += prep.SDCCorrected
+		rep.SDCEscalated += prep.SDCEscalated
+		rep.RecomputedTasks += prep.RecomputedTasks
+		rep.VerifySeconds += prep.VerifySeconds
 		if prep.End > rep.End {
 			rep.End = prep.End
 		}
@@ -337,13 +386,22 @@ func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix
 					a.View(off, 0, mi, k), b, beta,
 					c.View(off, 0, mi, n), commActive, earliest)
 			}
+			end := sp.End
+			if r.abft {
+				// The slab's checksum check joins the critical path of this
+				// core; the cost feeds the partitioner like any other work,
+				// so both sides carry their verification honestly.
+				ver := abft.VerifySeconds(mi, n, k)
+				end += ver
+				rep.VerifySeconds += ver
+			}
 			rep.CoreWorks[i] = 2 * float64(mi) * float64(n) * float64(k)
-			rep.CoreTimes[i] = sp.End - earliest
+			rep.CoreTimes[i] = end - earliest
 			if rep.CoreTimes[i] > rep.TC {
 				rep.TC = rep.CoreTimes[i]
 			}
-			if sp.End > rep.End {
-				rep.End = sp.End
+			if end > rep.End {
+				rep.End = end
 			}
 			off += mi
 		}
@@ -374,6 +432,13 @@ func (r *Runner) gemm(alpha float64, a, b *matrix.Dense, beta float64, c *matrix
 		}
 		pr.tracer.Sample("hybrid.gflops", rep.End, rep.GFLOPS())
 		r.el.RecordUtilization(pr.utilGPU, pr.utilCores)
+		if r.abft {
+			pr.sdcProbes()
+			pr.sdcDetected.Add(int64(rep.SDCDetected))
+			pr.sdcCorr.Add(int64(rep.SDCCorrected))
+			pr.sdcEscal.Add(int64(rep.SDCEscalated))
+			pr.verifySeconds.Add(rep.VerifySeconds)
+		}
 	}
 	return rep
 }

@@ -3,6 +3,7 @@ package linpacksim
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"tianhe/internal/adaptive"
 	"tianhe/internal/sim"
@@ -22,6 +23,12 @@ type Checkpoint struct {
 	T          sim.Time        `json:"t"`
 	DatabaseG  json.RawMessage `json:"database_g,omitempty"`
 	CSplits    []float64       `json:"csplits,omitempty"`
+
+	// Sum seals the restartable fields above (FNV-1a over their canonical
+	// byte form): a checkpoint corrupted at rest — the same silent-data-
+	// corruption class ABFT guards against in flight — fails Verify and is
+	// rejected by Restore instead of silently reinstalling poisoned state.
+	Sum uint64 `json:"sum"`
 
 	// tel captures the run's telemetry state at checkpoint time, so Restore
 	// can roll spans and counters booked by lost iterations back out of the
@@ -45,7 +52,43 @@ func (s *Sim) Checkpoint() *Checkpoint {
 		cp.DatabaseG = blob
 		cp.CSplits = ad.C.Splits()
 	}
+	cp.Sum = cp.checksum()
 	return cp
+}
+
+// checksum folds every restartable field into one FNV-1a word. The float
+// fields hash by their IEEE bit patterns, so any single bit flip — the SDC
+// model's fault unit — changes the sum.
+func (cp *Checkpoint) checksum() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime
+		}
+	}
+	word(uint64(cp.J))
+	word(uint64(cp.Iterations))
+	word(math.Float64bits(float64(cp.T)))
+	word(uint64(len(cp.DatabaseG)))
+	for _, b := range cp.DatabaseG {
+		h ^= uint64(b)
+		h *= prime
+	}
+	word(uint64(len(cp.CSplits)))
+	for _, f := range cp.CSplits {
+		word(math.Float64bits(f))
+	}
+	return h
+}
+
+// Verify reports whether the checkpoint's seal matches its contents.
+func (cp *Checkpoint) Verify() error {
+	if got := cp.checksum(); got != cp.Sum {
+		return fmt.Errorf("linpacksim: checkpoint checksum %#x does not match seal %#x — corrupted at rest", got, cp.Sum)
+	}
+	return nil
 }
 
 // Restore reinstalls a checkpoint taken from this run's Sim: the loop
@@ -56,6 +99,9 @@ func (s *Sim) Checkpoint() *Checkpoint {
 // resource is booked past the clock and the jitter streams are only
 // consumed by iterations that no longer run twice in a pure round-trip.
 func (s *Sim) Restore(cp *Checkpoint) error {
+	if err := cp.Verify(); err != nil {
+		return err
+	}
 	if cp.J < 0 || cp.J > s.cfg.N {
 		return fmt.Errorf("linpacksim: checkpoint position %d outside [0, %d]", cp.J, s.cfg.N)
 	}
@@ -85,4 +131,26 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 		tl.AdvanceTo(cp.T)
 	}
 	return nil
+}
+
+// RestoreNewest reinstalls the newest checkpoint in cps that verifies and
+// restores cleanly, returning its index. A checkpoint corrupted at rest is
+// skipped and the next older one tried — the fallback chain a real
+// checkpointer keeps two generations for. It errors only when every
+// candidate is unusable.
+func (s *Sim) RestoreNewest(cps []*Checkpoint) (int, error) {
+	var firstErr error
+	for i := len(cps) - 1; i >= 0; i-- {
+		if err := s.Restore(cps[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return i, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("linpacksim: no checkpoints to restore")
+	}
+	return -1, firstErr
 }

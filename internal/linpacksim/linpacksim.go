@@ -14,6 +14,7 @@ import (
 
 	"tianhe/internal/adaptive"
 	"tianhe/internal/element"
+	"tianhe/internal/fault"
 	"tianhe/internal/hpl"
 	"tianhe/internal/hybrid"
 	"tianhe/internal/perfmodel"
@@ -71,6 +72,19 @@ type Config struct {
 	// CheckpointBandwidth on the critical path) so a failure redoes at most
 	// one iteration.
 	Checkpoint bool
+
+	// Verify enables ABFT checksum verification of every trailing-update
+	// task (see hybrid.Runner.EnableABFT): the verification time lands on
+	// the critical path, localizable corruption is recovered by recomputing
+	// just the struck task, and uncorrectable corruption marks the iteration
+	// poisoned so Run redoes it from the last good checkpoint. Setting SDC
+	// implies Verify.
+	Verify bool
+	// SDC optionally injects silent-data-corruption strikes into the GPU
+	// tasks (fault.SDCKernel / fault.SDCDMA events); the same injector's
+	// timing events (degraded-gpu, flaky-net layers of a composed scenario)
+	// are attached to the element too. Nil injects nothing.
+	SDC *fault.Injector
 }
 
 // Result reports one simulated run.
@@ -89,6 +103,15 @@ type Result struct {
 	Failures          int
 	RedoneIterations  int
 	CheckpointSeconds float64
+	// SDCDetected counts every corruption strike caught by ABFT across the
+	// whole run (re-executed iterations included, so it always equals the
+	// injector's delivered-strike count); SDCCorrected the strikes recovered
+	// by recomputing just the struck task; SDCEscalated the uncorrectable
+	// remainder; SDCRestores the checkpoint reloads those escalations forced.
+	SDCDetected, SDCCorrected, SDCEscalated, SDCRestores int
+	// VerifySeconds is the total host time spent on checksum verification,
+	// already inside Seconds — the honest overhead of the protection.
+	VerifySeconds float64
 }
 
 // DefaultNB returns the paper's blocking factor for a variant.
@@ -128,6 +151,21 @@ type Sim struct {
 	failures          int
 	redone            int
 	checkpointSeconds float64
+
+	// ABFT accounting (Config.Verify / Config.SDC). lastEscalated marks the
+	// just-stepped iteration as carrying uncorrectable corruption: its
+	// output must not be checkpointed, and Run redoes it from the last good
+	// checkpoint. The counters are plain run totals — unlike the telemetry
+	// counters they are NOT rolled back on restore, so they count every
+	// strike the injector ever delivered (the detected == injected audit).
+	abftOn        bool
+	sdcDetected   int
+	sdcCorrected  int
+	sdcEscalated  int
+	sdcRestores   int
+	verifySeconds float64
+	lastEscalated bool
+	integrity     *telemetry.Gauge // per-iteration integrity flag, lazy
 }
 
 // NewSim builds the element, partitioner and runner for one run, positioned
@@ -165,7 +203,16 @@ func NewSim(cfg Config) *Sim {
 		runner.Instrument(cfg.Telemetry)
 		el.Instrument(cfg.Telemetry, fmt.Sprintf("%s.N%d", cfg.Variant, cfg.N))
 	}
-	return &Sim{cfg: cfg, nb: nb, el: el, part: part, runner: runner}
+	s := &Sim{cfg: cfg, nb: nb, el: el, part: part, runner: runner}
+	if cfg.Verify || cfg.SDC != nil {
+		// The injector's timing events (composed scenarios layer SDC onto
+		// degraded-gpu and the like) hook the element; the corruption
+		// strikes flow through the runner's ABFT verification.
+		fault.Attach(cfg.SDC, el)
+		runner.EnableABFT(cfg.SDC)
+		s.abftOn = true
+	}
+	return s
 }
 
 // Done reports whether every column has been factored.
@@ -199,9 +246,29 @@ func (s *Sim) Step() {
 	trsmFlops := float64(jb) * float64(jb) * float64(trailing)
 	hostSide := s.t + panelFlops/(PanelRateGFLOPS*1e9) + trsmFlops/(TrsmRateGFLOPS*1e9)
 
+	s.lastEscalated = false
 	if trailing > 0 {
 		rep := s.runner.GemmVirtual(trailing, trailing, jb, 1, s.t)
 		s.t = rep.End
+		if s.abftOn {
+			s.sdcDetected += rep.SDCDetected
+			s.sdcCorrected += rep.SDCCorrected
+			s.sdcEscalated += rep.SDCEscalated
+			s.verifySeconds += rep.VerifySeconds
+			s.lastEscalated = rep.SDCEscalated > 0
+			if s.cfg.Telemetry.Enabled() {
+				if s.integrity == nil {
+					s.integrity = s.cfg.Telemetry.Gauge("linpacksim.integrity")
+				}
+				// 1 = the iteration's output is trustworthy (clean, or every
+				// strike recomputed away); 0 = poisoned pending a restore.
+				if s.lastEscalated {
+					s.integrity.Set(0)
+				} else {
+					s.integrity.Set(1)
+				}
+			}
+		}
 	}
 	if hostSide > s.t {
 		s.t = hostSide
@@ -209,6 +276,10 @@ func (s *Sim) Step() {
 	s.j = j + jb
 	s.lastJB = jb
 }
+
+// Escalated reports whether the last Step hit uncorrectable corruption: its
+// results are poisoned and must be rolled back, not checkpointed.
+func (s *Sim) Escalated() bool { return s.lastEscalated }
 
 // Skip advances the run's clock (and every resource) to at least tm without
 // doing work — the failure path uses it to charge the outage and restart.
@@ -230,6 +301,11 @@ func (s *Sim) Result() Result {
 		Failures:          s.failures,
 		RedoneIterations:  s.redone,
 		CheckpointSeconds: s.checkpointSeconds,
+		SDCDetected:       s.sdcDetected,
+		SDCCorrected:      s.sdcCorrected,
+		SDCEscalated:      s.sdcEscalated,
+		SDCRestores:       s.sdcRestores,
+		VerifySeconds:     s.verifySeconds,
 	}
 	res.GFLOPS = hpl.LinpackFlops(s.cfg.N) / s.t / 1e9
 	return res
@@ -246,16 +322,44 @@ func Run(cfg Config) Result {
 	if restart <= 0 {
 		restart = DefaultRestartSec
 	}
-	cp := s.Checkpoint() // the empty initial state — scratch restarts use it
+	// cps keeps the two newest good checkpoints (plus the empty initial
+	// state): escalated corruption restores the newest one that still
+	// verifies, falling back a generation if the newest is itself corrupt.
+	cps := []*Checkpoint{s.Checkpoint()}
 	failed := false
 	for !s.Done() {
 		s.Step()
+		if s.Escalated() {
+			// Uncorrectable corruption (multi-element, or a checksum row
+			// hit): the iteration's output cannot be trusted and task-level
+			// recomputation cannot repair it. Reload the newest good
+			// checkpoint and redo the iteration. The wall-clock never moves
+			// backward — the reload cost is charged on top of the time the
+			// poisoned attempt already burned, which is what makes the
+			// escalation path expensive and the ≥90%-corrected target
+			// meaningful.
+			now := s.t
+			lost := s.iters
+			cpIdx, err := s.RestoreNewest(cps)
+			if err != nil {
+				panic(fmt.Sprintf("linpacksim: escalation restore: %v", err))
+			}
+			sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
+			s.sdcRestores++
+			s.redone += lost - s.iters
+			s.Skip(now + sec)
+			if s.sdcRestores > 100*s.cfg.N/s.nb+100 {
+				panic("linpacksim: SDC escalations never drain — injected corruption outpaces recovery")
+			}
+			cps = cps[:cpIdx+1]
+			continue
+		}
 		if cfg.FailAt > 0 && !failed && s.t > cfg.FailAt {
 			// The element died at FailAt; everything past the last
 			// checkpoint is lost, including the iteration just simulated.
 			failed = true
 			lost := s.iters
-			if err := s.Restore(cp); err != nil {
+			if _, err := s.RestoreNewest(cps); err != nil {
 				panic(fmt.Sprintf("linpacksim: failover restore: %v", err))
 			}
 			s.failures++
@@ -269,7 +373,10 @@ func Run(cfg Config) Result {
 			sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
 			s.checkpointSeconds += sec
 			s.Skip(s.t + sec)
-			cp = s.Checkpoint()
+			cps = append(cps, s.Checkpoint())
+			if len(cps) > 3 {
+				cps = cps[len(cps)-3:]
+			}
 		}
 	}
 	return s.Result()

@@ -1,0 +1,214 @@
+package linpacksim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+	"tianhe/internal/telemetry"
+)
+
+func sdcConfig(scenario string, seed uint64) Config {
+	cfg := Config{N: 9728, NB: 1216, Variant: element.ACMLGBoth, Seed: seed, Checkpoint: true}
+	if scenario != "" {
+		// The healthy makespan of this configuration is ~4s of virtual time;
+		// the exact horizon only scales the strike windows.
+		horizon := healthyHorizon(cfg)
+		in, err := fault.NewScenario(scenario, horizon, seed)
+		if err != nil {
+			panic(err)
+		}
+		cfg.SDC = in
+	}
+	return cfg
+}
+
+func healthyHorizon(cfg Config) float64 {
+	clean := cfg
+	clean.SDC = nil
+	clean.Verify = false
+	clean.Checkpoint = false
+	return Run(clean).Seconds
+}
+
+func TestVerifyOverheadUnderFivePercent(t *testing.T) {
+	cfg := Config{N: 9728, NB: 1216, Variant: element.ACMLGBoth, Seed: 31}
+	base := Run(cfg)
+	cfg.Verify = true
+	ver := Run(cfg)
+	if ver.VerifySeconds <= 0 {
+		t.Fatal("verification booked no time")
+	}
+	// The checks may hide entirely under the host-side panel factorization
+	// (look-ahead overlap), so zero makespan overhead is legitimate; it must
+	// never exceed the 5%% acceptance budget.
+	over := (ver.Seconds - base.Seconds) / base.Seconds
+	if over < 0 || over >= 0.05 {
+		t.Fatalf("verification overhead %.2f%%, want [0%%, 5%%)", 100*over)
+	}
+	if ver.SDCDetected != 0 || ver.SDCRestores != 0 {
+		t.Fatalf("clean verified run reported strikes: %+v", ver)
+	}
+}
+
+func TestSDCSingleAllDetectedMostCorrected(t *testing.T) {
+	cfg := sdcConfig("sdc-single", 47)
+	res := Run(cfg)
+	if res.SDCDetected == 0 {
+		t.Fatal("sdc-single delivered no strikes at N=9728")
+	}
+	if got := cfg.SDC.SDCDelivered(); got != int64(res.SDCDetected) {
+		t.Fatalf("injector delivered %d strikes, run detected %d — detection must be total", got, res.SDCDetected)
+	}
+	if res.SDCCorrected+res.SDCEscalated != res.SDCDetected {
+		t.Fatalf("outcome counts inconsistent: %+v", res)
+	}
+	if res.SDCEscalated != 0 || res.SDCRestores != 0 {
+		t.Fatalf("single-element strikes escalated: %+v", res)
+	}
+	clean := Run(Config{N: cfg.N, NB: cfg.NB, Variant: cfg.Variant, Seed: cfg.Seed, Checkpoint: true})
+	if res.Seconds <= clean.Seconds {
+		t.Fatalf("recovery was free: struck %v s vs clean %v s", res.Seconds, clean.Seconds)
+	}
+}
+
+func TestSDCBurstEscalatesAndRestores(t *testing.T) {
+	cfg := sdcConfig("sdc-burst", 53)
+	res := Run(cfg)
+	if res.SDCEscalated == 0 {
+		t.Fatal("sdc-burst (3 faults per strike) never escalated")
+	}
+	if res.SDCRestores == 0 {
+		t.Fatal("escalations forced no checkpoint restores")
+	}
+	if res.RedoneIterations == 0 {
+		t.Fatal("restores redid no iterations")
+	}
+	if got := cfg.SDC.SDCDelivered(); got != int64(res.SDCDetected) {
+		t.Fatalf("injector delivered %d, detected %d — escalation path dropped strikes", got, res.SDCDetected)
+	}
+}
+
+func TestSDCRunsDeterministic(t *testing.T) {
+	for _, sc := range []string{"sdc-single", "sdc-burst", "sdc-dma+degraded-gpu"} {
+		a := Run(sdcConfig(sc, 7))
+		b := Run(sdcConfig(sc, 7))
+		a.Part, b.Part = nil, nil
+		if a != b {
+			t.Fatalf("%s: runs diverged:\n%+v\n%+v", sc, a, b)
+		}
+	}
+}
+
+func TestSDCComposesWithTimingFaults(t *testing.T) {
+	// Layering sdc-single onto degraded-gpu must keep total detection and
+	// slow the run down at least as much as the degradation alone.
+	base := sdcConfig("", 19)
+	horizon := healthyHorizon(base)
+
+	deg, err := fault.NewScenario("degraded-gpu", horizon, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degCfg := base
+	degCfg.SDC = deg
+	degRun := Run(degCfg)
+
+	both, err := fault.NewScenario("sdc-single+degraded-gpu", horizon, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothCfg := base
+	bothCfg.SDC = both
+	bothRun := Run(bothCfg)
+
+	if bothRun.SDCDetected == 0 {
+		t.Fatal("composed scenario delivered no SDC strikes")
+	}
+	if got := both.SDCDelivered(); got != int64(bothRun.SDCDetected) {
+		t.Fatalf("composed: delivered %d vs detected %d", got, bothRun.SDCDetected)
+	}
+	if degRun.SDCDetected != 0 {
+		t.Fatalf("degraded-gpu alone delivered SDC strikes: %+v", degRun)
+	}
+	if bothRun.Seconds <= degRun.Seconds {
+		t.Fatalf("adding corruption to degradation cost nothing: %v vs %v s", bothRun.Seconds, degRun.Seconds)
+	}
+}
+
+func TestIntegrityGaugeTracksEscalation(t *testing.T) {
+	tel := telemetry.New()
+	cfg := sdcConfig("sdc-burst", 53)
+	cfg.Telemetry = tel
+	res := Run(cfg)
+	if res.SDCEscalated == 0 {
+		t.Skip("burst did not escalate under this seed")
+	}
+	// After a completed run the last iteration is past the burst window, so
+	// the gauge must have settled back to 1 (trustworthy output).
+	if got := tel.Gauge("linpacksim.integrity").Value(); got != 1 {
+		t.Fatalf("linpacksim.integrity = %v at run end, want 1", got)
+	}
+}
+
+func TestCheckpointSealDetectsCorruption(t *testing.T) {
+	s := NewSim(ckptConfig(element.ACMLGBoth))
+	s.Step()
+	cp := s.Checkpoint()
+	if err := cp.Verify(); err != nil {
+		t.Fatalf("fresh checkpoint fails its own seal: %v", err)
+	}
+
+	// A bit flip in any sealed field must be rejected by Restore.
+	cases := []func(c *Checkpoint){
+		func(c *Checkpoint) { c.J ^= 1 },
+		func(c *Checkpoint) { c.Iterations++ },
+		func(c *Checkpoint) { c.T += 1e-9 },
+		func(c *Checkpoint) { c.DatabaseG[len(c.DatabaseG)/2] ^= 0x40 },
+		func(c *Checkpoint) { c.CSplits[0] += 1e-12 },
+	}
+	for i, corrupt := range cases {
+		blob, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bad Checkpoint
+		if err := json.Unmarshal(blob, &bad); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(&bad)
+		if err := s.Restore(&bad); err == nil {
+			t.Fatalf("case %d: corrupted checkpoint restored without complaint", i)
+		}
+	}
+}
+
+func TestRestoreNewestFallsBackPastCorruption(t *testing.T) {
+	cfg := ckptConfig(element.ACMLGBoth)
+	ref := Run(cfg)
+
+	s := NewSim(cfg)
+	s.Step()
+	good := s.Checkpoint()
+	s.Step()
+	newest := s.Checkpoint()
+	newest.T += 1e-9 // corrupted at rest; seal now stale
+	idx, err := s.RestoreNewest([]*Checkpoint{good, newest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("restored checkpoint %d, want the older good one (0)", idx)
+	}
+	for !s.Done() {
+		s.Step()
+	}
+	if got := s.Result(); got.Seconds != ref.Seconds {
+		t.Fatalf("run after fallback restore ended at %v s, uninterrupted %v s", got.Seconds, ref.Seconds)
+	}
+
+	if _, err := s.RestoreNewest([]*Checkpoint{newest}); err == nil {
+		t.Fatal("RestoreNewest accepted a set with no good checkpoint")
+	}
+}

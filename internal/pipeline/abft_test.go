@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tianhe/internal/fault"
+	"tianhe/internal/gpu"
+	"tianhe/internal/telemetry"
+)
+
+// fullWindowSDC returns an injector that strikes every task with one
+// localizable fault for the whole virtual run.
+func fullWindowSDC(seed uint64) *fault.Injector {
+	return fault.New(seed, fault.Event{
+		Kind: fault.SDCKernel, Start: 0, End: 1e9, Magnitude: 1, Faults: 1,
+	})
+}
+
+func TestVerifyExtendsMakespan(t *testing.T) {
+	dev := gpu.New(gpu.Config{Virtual: true})
+	base := NewExecutor(dev, Pipelined()).ExecuteVirtual(4096, 4096, 1024, 1, 0)
+
+	ex := NewExecutor(dev, Pipelined())
+	ex.EnableVerify(nil)
+	ver := ex.ExecuteVirtual(4096, 4096, 1024, 1, 0)
+
+	if ver.VerifySeconds <= 0 {
+		t.Fatal("verification booked no host time")
+	}
+	if ver.End <= base.End {
+		t.Fatalf("verified makespan %v not past baseline %v", ver.End, base.End)
+	}
+	if ver.SDCDetected != 0 || ver.SDCCorrected != 0 || ver.SDCEscalated != 0 {
+		t.Fatalf("nil injector produced strikes: %+v", ver)
+	}
+	// Verification is host checksum work: cheap relative to the kernels.
+	if frac := ver.VerifySeconds / ver.Seconds(); frac >= 0.25 {
+		t.Fatalf("verification is %.0f%% of the makespan on a small problem", 100*frac)
+	}
+}
+
+func TestVerifyDetectsAndRecomputesEveryTask(t *testing.T) {
+	dev := gpu.New(gpu.Config{Virtual: true})
+	ex := NewExecutor(dev, Pipelined())
+	ex.EnableVerify(fullWindowSDC(17))
+	rep := ex.ExecuteVirtual(4096, 4096, 1024, 1, 0)
+
+	if rep.SDCDetected != rep.Tasks {
+		t.Fatalf("detected %d strikes over %d tasks with a Magnitude-1 window", rep.SDCDetected, rep.Tasks)
+	}
+	if rep.SDCCorrected+rep.SDCEscalated != rep.SDCDetected {
+		t.Fatalf("corrected %d + escalated %d != detected %d", rep.SDCCorrected, rep.SDCEscalated, rep.SDCDetected)
+	}
+	if rep.RecomputedTasks != rep.SDCCorrected {
+		t.Fatalf("recomputed %d tasks but corrected %d strikes", rep.RecomputedTasks, rep.SDCCorrected)
+	}
+	if rep.SDCCorrected == 0 {
+		t.Fatal("single-fault strikes never corrected")
+	}
+
+	clean := NewExecutor(gpu.New(gpu.Config{Virtual: true}), Pipelined())
+	clean.EnableVerify(nil)
+	ref := clean.ExecuteVirtual(4096, 4096, 1024, 1, 0)
+	if rep.End <= ref.End {
+		t.Fatalf("recovery added no time: struck end %v vs clean end %v", rep.End, ref.End)
+	}
+}
+
+func TestVerifyDeterministic(t *testing.T) {
+	run := func() Report {
+		dev := gpu.New(gpu.Config{Virtual: true})
+		opts := Pipelined()
+		opts.Tile = 1024 // many tasks, so Magnitude 0.5 strikes a strict subset
+		ex := NewExecutor(dev, opts)
+		ex.EnableVerify(fault.New(9, fault.Event{
+			Kind: fault.SDCKernel, Start: 0, End: 1e9, Magnitude: 0.5, Faults: 1,
+		}))
+		return ex.ExecuteVirtual(8192, 4096, 2048, 1, 0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n%+v\n%+v", a, b)
+	}
+	if a.SDCDetected == 0 || a.SDCDetected == a.Tasks {
+		t.Fatalf("detected %d/%d strikes, not consistent with Magnitude 0.5", a.SDCDetected, a.Tasks)
+	}
+}
+
+func TestVerifyBurstEscalates(t *testing.T) {
+	dev := gpu.New(gpu.Config{Virtual: true})
+	ex := NewExecutor(dev, Pipelined())
+	ex.EnableVerify(fault.New(4, fault.Event{
+		Kind: fault.SDCKernel, Start: 0, End: 1e9, Magnitude: 1, Faults: 3,
+	}))
+	rep := ex.ExecuteVirtual(4096, 4096, 1024, 1, 0)
+	if rep.SDCEscalated != rep.SDCDetected || rep.SDCDetected == 0 {
+		t.Fatalf("3-fault strikes must all escalate: %+v", rep)
+	}
+	if rep.SDCCorrected != 0 || rep.RecomputedTasks != 0 {
+		t.Fatalf("escalations booked recompute work: %+v", rep)
+	}
+}
+
+func TestVerifyTelemetryCounts(t *testing.T) {
+	tel := telemetry.New()
+	dev := gpu.New(gpu.Config{Virtual: true})
+	opts := Pipelined()
+	opts.Telemetry = tel
+	ex := NewExecutor(dev, opts)
+	ex.EnableVerify(fullWindowSDC(2))
+	rep := ex.ExecuteVirtual(4096, 4096, 1024, 1, 0)
+
+	if got := tel.Counter("pipeline.abft.verified").Value(); got != int64(rep.Tasks) {
+		t.Fatalf("abft.verified = %d, want %d", got, rep.Tasks)
+	}
+	corr := tel.Counter("pipeline.abft.corrected").Value()
+	esc := tel.Counter("pipeline.abft.escalated").Value()
+	if corr != int64(rep.SDCCorrected) || esc != int64(rep.SDCEscalated) {
+		t.Fatalf("telemetry corrected/escalated %d/%d disagree with report %d/%d",
+			corr, esc, rep.SDCCorrected, rep.SDCEscalated)
+	}
+}
+
+func TestNoVerifyLeavesReportClean(t *testing.T) {
+	dev := gpu.New(gpu.Config{Virtual: true})
+	rep := NewExecutor(dev, Pipelined()).ExecuteVirtual(4096, 4096, 1024, 1, 0)
+	if rep.VerifySeconds != 0 || rep.SDCDetected != 0 || rep.RecomputedTasks != 0 {
+		t.Fatalf("verification off but report carries ABFT state: %+v", rep)
+	}
+}

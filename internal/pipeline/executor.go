@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 
+	"tianhe/internal/abft"
+	"tianhe/internal/fault"
 	"tianhe/internal/gpu"
 	"tianhe/internal/matrix"
 	"tianhe/internal/sim"
@@ -33,6 +35,19 @@ type Options struct {
 	// transfers the CT/NT overlap buried under the previous kernel. Nil (the
 	// default) disables instrumentation at zero cost.
 	Telemetry *telemetry.Telemetry
+	// Verify enables ABFT checksum verification of every task at its EO
+	// drain: the host spends abft.VerifySeconds per task checking the
+	// streamed-out tile against its Huang-Abraham checksums. A task struck
+	// by the SDC injector is detected there; a localizable single-element
+	// corruption is recovered by re-enqueueing just that task behind the
+	// already-booked next-task kernels (the CT/NT overlap never stalls),
+	// while checksum-row hits and multi-element corruption are counted as
+	// escalations for the caller's checkpoint machinery.
+	Verify bool
+	// SDC is the injector consulted for corruption strikes at each task
+	// drain (nil: verification runs, nothing ever strikes). Strikes are
+	// drawn per task index, so runs replay bit-identically.
+	SDC *fault.Injector
 }
 
 // Pipelined returns the full Section V configuration.
@@ -61,6 +76,16 @@ type Report struct {
 	BytesIn, BytesOut, BytesSkipped int64
 	// Tasks is the number of tasks in the queue.
 	Tasks int
+	// SDCDetected counts corruption strikes caught by ABFT verification
+	// (Options.Verify); SDCCorrected the subset recovered by recomputing
+	// just the struck task; SDCEscalated the uncorrectable remainder
+	// (checksum row/column hit, or multiple faults per tile).
+	SDCDetected, SDCCorrected, SDCEscalated int
+	// RecomputedTasks counts task re-executions booked for recovery, and
+	// VerifySeconds the total host time spent on checksum verification —
+	// both included in End, so the overhead is visible in the makespan.
+	RecomputedTasks int
+	VerifySeconds   float64
 }
 
 // Seconds returns the end-to-end virtual duration.
@@ -80,6 +105,11 @@ type Executor struct {
 	dev    *gpu.Device
 	opts   Options
 	probes *execProbes // nil when telemetry is disabled
+
+	// taskSeq numbers every drained task across the executor's lifetime;
+	// it keys the SDC injector's per-task decision streams, so strikes
+	// depend only on the drain order, which is deterministic.
+	taskSeq int
 }
 
 // execProbes holds the executor's metric handles, fetched once at
@@ -89,6 +119,23 @@ type execProbes struct {
 	hiddenFrac                                       *telemetry.Histogram
 	hiddenGauge                                      *telemetry.Gauge
 	tracer                                           *telemetry.Tracer
+
+	// ABFT probes, registered lazily on the first verified task so runs
+	// without verification keep their metric dumps unchanged.
+	tel                                    *telemetry.Telemetry
+	abftVerified, abftCorrected, abftEscal *telemetry.Counter
+	abftSeconds                            *telemetry.Gauge
+}
+
+// abftProbes fetches the verification metric handles on first use.
+func (pr *execProbes) abftProbes() {
+	if pr.abftVerified != nil {
+		return
+	}
+	pr.abftVerified = pr.tel.Counter("pipeline.abft.verified")
+	pr.abftCorrected = pr.tel.Counter("pipeline.abft.corrected")
+	pr.abftEscal = pr.tel.Counter("pipeline.abft.escalated")
+	pr.abftSeconds = pr.tel.Gauge("pipeline.abft.verify_seconds")
 }
 
 // fractionBuckets are the histogram bounds for ratio-valued metrics.
@@ -107,6 +154,7 @@ func newExecProbes(tel *telemetry.Telemetry) *execProbes {
 		hiddenFrac:   tel.Histogram("pipeline.input_hidden_frac", fractionBuckets),
 		hiddenGauge:  tel.Gauge("pipeline.input_hidden_frac.last"),
 		tracer:       tel.Trace,
+		tel:          tel,
 	}
 }
 
@@ -117,6 +165,14 @@ func NewExecutor(dev *gpu.Device, opts Options) *Executor {
 
 // Options returns the executor's resolved options.
 func (e *Executor) Options() Options { return e.opts }
+
+// EnableVerify turns on ABFT verification on a built executor, optionally
+// with an SDC injector supplying corruption strikes — the hybrid runner's
+// fault-wiring path (see Options.Verify).
+func (e *Executor) EnableVerify(sdc *fault.Injector) {
+	e.opts.Verify = true
+	e.opts.SDC = sdc
+}
 
 // residentTile tracks one cached operand tile in device memory.
 type residentTile struct {
@@ -313,6 +369,85 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		return end
 	}
 
+	// verifyTask runs the ABFT check of one drained task on the host: the
+	// verification time lands on the critical path after the tile's last
+	// output block, and a strike delivered by the SDC injector is detected
+	// here. A localizable single-element corruption re-enqueues just this
+	// task — its recompute kernels book on the command queue BEHIND the
+	// next task's already-booked kernels (in overlap mode this flush runs
+	// after the successor's EO stage was issued), so the CT/NT overlap
+	// never stalls; the accumulator tile is re-staged when beta != 0 and
+	// the repaired tile streams back out and re-verifies. Checksum-row
+	// hits and multi-element corruption cannot be localized: they count
+	// as escalations for the caller's checkpoint-restore machinery. On
+	// the real-data path the same bookings model the timing; the data is
+	// exact (strikes are a model, not actual memory corruption).
+	verifyTask := func(job *outputJob, drained sim.Time) sim.Time {
+		task := job.task
+		kTot := 0
+		for _, st := range task.Steps {
+			kTot += st.K
+		}
+		ver := abft.VerifySeconds(task.M, task.N, kTot)
+		end := drained + ver
+		rep.VerifySeconds += ver
+		verBooked := ver
+		seq := e.taskSeq
+		e.taskSeq++
+		if pr != nil {
+			pr.abftProbes()
+			pr.abftVerified.Inc()
+			pr.tracer.Span("pipeline.abft", "abft", "verify "+task.Name, drained, end)
+		}
+		if hit, struck := e.opts.SDC.SDCTask(seq, drained, task.M, task.N); struck {
+			rep.SDCDetected++
+			if abft.Classify(hit.Faults, hit.InChecksum) == abft.Escalate {
+				rep.SDCEscalated++
+				if pr != nil {
+					pr.abftEscal.Inc()
+					pr.tracer.Instant("pipeline.abft", "abft", "sdc.escalate "+task.Name, end)
+				}
+			} else {
+				dep := sim.Span{Start: end, End: end}
+				if beta != 0 {
+					dep = e.dev.UploadBytes(job.cBytes, end)
+					rep.BytesIn += job.cBytes
+				}
+				kern := dep
+				for _, st := range task.Steps {
+					kern = e.dev.GemmVirtual(task.M, task.N, st.K, kern)
+				}
+				out := e.dev.DownloadBytes(job.cBytes, kern.End)
+				rep.BytesOut += job.cBytes
+				end = out.End + ver // the repaired tile re-verifies
+				rep.VerifySeconds += ver
+				verBooked += ver
+				rep.SDCCorrected++
+				rep.RecomputedTasks++
+				if pr != nil {
+					pr.abftCorrected.Inc()
+					pr.tracer.Instant("pipeline.abft", "abft", "sdc.recompute "+task.Name, end)
+				}
+			}
+		}
+		if pr != nil {
+			pr.abftSeconds.Add(verBooked)
+		}
+		if end > rep.End {
+			rep.End = end
+		}
+		return end
+	}
+	// drain flushes a deferred output job and, with verification on, runs
+	// its ABFT check before the task is considered complete.
+	drain := func(job *outputJob) sim.Time {
+		end := flush(job)
+		if e.opts.Verify {
+			end = verifyTask(job, end)
+		}
+		return end
+	}
+
 	// prevEOStart is when the previous task entered its EO stage: with
 	// OverlapInput the next task's transfers (the NT object's N-INPUT state)
 	// may begin then; without it they wait for the previous task to finish.
@@ -331,7 +466,7 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 			// Strict input -> execute -> output: finish the previous task's
 			// output before touching this task's inputs.
 			if deferred != nil {
-				prevTaskEnd = flush(deferred)
+				prevTaskEnd = drain(deferred)
 				deferred = nil
 			}
 			inputEarliest = prevTaskEnd
@@ -440,7 +575,7 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		job := &outputJob{task: task, kernel: kernel, eoStart: eoStart, cBuf: cBuf, cBytes: cBytes}
 		if e.opts.OverlapInput {
 			if deferred != nil {
-				prevTaskEnd = flush(deferred)
+				prevTaskEnd = drain(deferred)
 			}
 			deferred = job
 		} else {
@@ -449,7 +584,7 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		prevEOStart = eoStart
 	}
 	if deferred != nil {
-		prevTaskEnd = flush(deferred)
+		prevTaskEnd = drain(deferred)
 	}
 	_ = prevTaskEnd
 
