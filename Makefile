@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench faultgolden parbench
+.PHONY: check build test vet lint fuzz bench faultgolden parbench servebench
 
 check:
 	./scripts/check.sh
@@ -36,9 +36,20 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzDGEMMPackedVsNaive$$' -fuzztime 10s ./internal/blas
 	go test -run '^$$' -fuzz '^FuzzScheduleInvariants$$' -fuzztime 10s ./internal/pipeline
 	go test -run '^$$' -fuzz '^FuzzChecksumCodec$$' -fuzztime 10s ./internal/abft
+	go test -run '^$$' -fuzz '^FuzzJobCodec$$' -fuzztime 10s ./internal/serve
 
 bench:
 	go test -run xxx -bench . -benchtime 10x .
+
+# servebench regenerates the serving benchmark (1200 open-loop clients,
+# healthy + lost-gpu sweeps) into a fresh artifact and guards it against
+# the committed BENCH_serve.json baseline: peak and per-rate healthy
+# throughput must stay within 10%. Virtual time makes the run bit-exact
+# from the seed, so any drift the guard catches is a real code change —
+# regenerate the baseline deliberately with
+# `go run ./cmd/tianhed -bench -o BENCH_serve.json` and commit it.
+servebench:
+	go run ./cmd/tianhed -bench -par 8 -o /tmp/tianhe_servebench.json -baseline BENCH_serve.json
 
 # parbench measures the parallel sweep runner: faultbench and scalebench at
 # -par 1 vs -par 8 (override with PAR=n), asserting byte-identical output

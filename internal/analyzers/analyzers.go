@@ -85,6 +85,7 @@ func All() []*Analyzer {
 		MutexCopy,
 		SweepPure,
 		ABFTPure,
+		ServePure,
 	}
 }
 

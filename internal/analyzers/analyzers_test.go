@@ -14,9 +14,10 @@ func TestMapIterOrder(t *testing.T) { RunFixture(t, MapIterOrder, "mapiterorder"
 func TestMutexCopy(t *testing.T)    { RunFixture(t, MutexCopy, "mutexcopy") }
 func TestSweepPure(t *testing.T)    { RunFixture(t, SweepPure, "sweeppure") }
 func TestABFTPure(t *testing.T)     { RunFixture(t, ABFTPure, "abftpure") }
+func TestServePure(t *testing.T)    { RunFixture(t, ServePure, "servepure") }
 
 func TestSuiteIsComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy", "sweeppure", "abftpure"}
+	want := []string{"nowalltime", "noglobalrand", "telemetrynil", "faultnil", "floateq", "mapiterorder", "mutexcopy", "sweeppure", "abftpure", "servepure"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

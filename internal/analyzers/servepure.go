@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// ServePure holds the serving layer to the same purity contract as abft:
+// packages serve and loadgen are deterministic virtual-time machines — an
+// admission decision, a batch seal, or a generated arrival must replay
+// bit-identically from (seed, config) on any host and under any -par. Wall
+// clock exists only at the cmd/tianhed edge, where real arrival instants
+// are mapped onto the virtual timeline; randomness comes only from named
+// sim streams; and no package-level mutable state may leak between
+// concurrently swept service instances.
+var ServePure = &Analyzer{
+	Name: "servepure",
+	Doc: "hold packages serve and loadgen pure: no time package use, no " +
+		"math/rand or math/rand/v2, and no writes to package-level variables — " +
+		"the serving layer runs deterministic virtual time (wall clock lives " +
+		"only in cmd/tianhed) and seeded load replays must be bit-identical " +
+		"under any sweep parallelism",
+	Run: runServePure,
+}
+
+func runServePure(pass *Pass) {
+	pkg := pass.Pkg.Name()
+	if pkg != "serve" && pkg != "loadgen" {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if name, ok := pkgFunc(pass.TypesInfo, e, "time"); ok {
+					pass.Reportf(e.Pos(),
+						"time.%s in package %s: the serving layer runs virtual time only; map wall-clock arrivals at the cmd/tianhed edge", name, pkg)
+				}
+				for path := range randPaths {
+					if name, ok := pkgFunc(pass.TypesInfo, e, path); ok {
+						pass.Reportf(e.Pos(),
+							"%s.%s in package %s: load and batching randomness must come from named sim streams so replays are seed-reproducible", path, name, pkg)
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if v, ok := packageLevelTarget(pass.TypesInfo, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"write to package-level variable %s in package %s: service state must live in the Server or on the stack so concurrently swept instances cannot interfere", v.Name(), pkg)
+					}
+				}
+			case *ast.IncDecStmt:
+				if v, ok := packageLevelTarget(pass.TypesInfo, e.X); ok {
+					pass.Reportf(e.Pos(),
+						"write to package-level variable %s in package %s: service state must live in the Server or on the stack so concurrently swept instances cannot interfere", v.Name(), pkg)
+				}
+			}
+			return true
+		})
+	}
+}

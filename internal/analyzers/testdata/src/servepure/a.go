@@ -1,0 +1,68 @@
+// Package serve here is a tianhelint fixture: the servepure check gates on
+// the package name (serve or loadgen), so this stand-in exercises every
+// forbidden shape — clock reads, ambient randomness, package-level writes —
+// alongside the legal ones (locals, receiver fields, reads of package
+// defaults).
+package serve
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+var served int
+var windows = map[string]float64{}
+
+// Server-style receiver state is the sanctioned home for counters.
+type server struct {
+	admitted int
+	window   float64
+}
+
+func badClock() float64 {
+	start := time.Now()                // want "time.Now in package serve"
+	return time.Since(start).Seconds() // want "time.Since in package serve"
+}
+
+func badWindow(d time.Duration) { // want "time.Duration in package serve"
+	time.Sleep(d) // want "time.Sleep in package serve"
+}
+
+func badRandV1() float64 {
+	return rand.Float64() // want "math/rand.Float64 in package serve"
+}
+
+func badRandV2() uint64 {
+	return randv2.Uint64() // want "math/rand/v2.Uint64 in package serve"
+}
+
+func badGlobalWrite(v int) {
+	served = v // want "write to package-level variable served"
+	served++   // want "write to package-level variable served"
+}
+
+func badMapWrite(k string, v float64) {
+	windows[k] = v // want "write to package-level variable windows"
+}
+
+func goodLocalState(arrivals []float64) float64 {
+	last, rate := 0.0, 0.0
+	for _, t := range arrivals {
+		if t > last {
+			rate = 1 / (t - last)
+			last = t
+		}
+	}
+	return rate
+}
+
+func (s *server) goodReceiverState() {
+	s.admitted++
+	s.window *= 0.5
+}
+
+func goodRead() int {
+	// Reading package state is fine; only writes are flagged.
+	return served + len(windows)
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzJobCodec drives the wire codec from both directions. Arbitrary bytes
+// must never panic the parsers, and every request they accept must expand
+// to a job within the limits. Structured inputs drive the round-trip
+// contract: a marshaled request parses back identically, and a result's
+// response survives marshal/parse with its status invariants intact.
+func FuzzJobCodec(f *testing.F) {
+	f.Add([]byte(`{"tenant":"acme","kind":"dgemm","m":64,"n":256,"k":256}`),
+		"acme", uint8(0), false, 0.5, 1.0, 1.5, 2.0, uint64(3), 4, 0.8, 0)
+	f.Add([]byte(`{"tenant":"acme","kind":"solve","n":512}`),
+		"beta", uint8(1), true, 0.25, 0.0, 0.0, 0.0, uint64(0), 0, 0.0, 0)
+	f.Add([]byte(`{"status":"ok","tenant":"a","kind":"dgemm"}`),
+		"Ω-tenant", uint8(1), false, 0.0, 2.0, 2.25, 2.5, uint64(9), 16, 1.0, 2)
+	f.Add([]byte(`{"status":"rejected","retry_after_seconds":2}`),
+		"", uint8(0), true, 1e-6, 0.0, 0.0, 0.0, uint64(0), 0, 0.0, 0)
+	f.Add([]byte(`not json at all`),
+		"x", uint8(0), false, 0.0, 1e9, 1e9, 2e9, uint64(1), 1, 0.0, 7)
+
+	f.Fuzz(func(t *testing.T, raw []byte, tenant string, kindByte uint8,
+		rejected bool, retry, submit, start, end float64,
+		batchID uint64, batchJobs int, gsplit float64, drained int) {
+
+		// Direction 1: arbitrary bytes into both parsers — no panics, and
+		// accepted values satisfy the documented invariants.
+		if req, job, err := ParseRequest(raw, Limits{}); err == nil {
+			if job.M <= 0 || job.N <= 0 || job.K <= 0 {
+				t.Fatalf("accepted request %+v expanded to non-positive shape %+v", req, job)
+			}
+			lim := Limits{}.withDefaults()
+			if job.M > lim.MaxRows || job.N > lim.MaxDim || job.K > lim.MaxDim {
+				t.Fatalf("accepted request %+v exceeds limits: %+v", req, job)
+			}
+			// An accepted request must re-marshal and re-parse to the same
+			// job (the canonical form is a fixed point).
+			data, err := MarshalRequest(req)
+			if err != nil {
+				t.Fatalf("marshal of accepted request %+v: %v", req, err)
+			}
+			req2, job2, err := ParseRequest(data, Limits{})
+			if err != nil {
+				t.Fatalf("reparse of %s: %v", data, err)
+			}
+			if req2 != req || job2 != job {
+				t.Fatalf("request round trip drifted: %+v -> %+v, job %+v -> %+v", req, req2, job, job2)
+			}
+		}
+		if resp, err := ParseResponse(raw); err == nil {
+			if resp.Status != "ok" && resp.Status != "rejected" {
+				t.Fatalf("accepted response with status %q", resp.Status)
+			}
+		}
+
+		// Direction 2: a normalized Result round-trips through the wire
+		// form.
+		for _, v := range []float64{retry, submit, start, end, gsplit} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite fields have no JSON wire form")
+			}
+		}
+		if !utf8.ValidString(tenant) {
+			t.Skip("JSON re-encodes invalid UTF-8; tenants are validated strings")
+		}
+		res := Result{
+			ID:     batchID + 1,
+			Tenant: tenant,
+			Kind:   Kind(int(kindByte) % 2),
+		}
+		if rejected {
+			res.Rejected = true
+			res.RetryAfter = math.Abs(retry)
+		} else {
+			res.Submit = math.Abs(submit)
+			res.Start = res.Submit + math.Abs(start)
+			res.End = res.Start + math.Abs(end)
+			res.BatchID = batchID
+			res.BatchJobs = 1 + iabs(batchJobs)%64
+			res.GSplit = math.Abs(gsplit)
+			res.Drained = iabs(drained) % 4
+		}
+		data, err := MarshalResponse(ResponseFromResult(res))
+		if err != nil {
+			t.Fatalf("marshal of %+v: %v", res, err)
+		}
+		resp, err := ParseResponse(data)
+		if err != nil {
+			t.Fatalf("own wire form rejected: %s: %v", data, err)
+		}
+		if resp.Tenant != res.Tenant || resp.Kind != res.Kind.String() {
+			t.Fatalf("identity drifted: %+v vs %+v", resp, res)
+		}
+		if res.Rejected {
+			if resp.Status != "rejected" || resp.RetryAfterSeconds != res.RetryAfter {
+				t.Fatalf("rejection drifted: %+v vs %+v", resp, res)
+			}
+		} else {
+			if resp.Status != "ok" || resp.BatchJobs != res.BatchJobs {
+				t.Fatalf("completion drifted: %+v vs %+v", resp, res)
+			}
+			if resp.LatencySeconds != res.Latency() {
+				t.Fatalf("latency drifted: %g vs %g", resp.LatencySeconds, res.Latency())
+			}
+		}
+	})
+}
+
+func iabs(v int) int {
+	if v < 0 {
+		if v == math.MinInt {
+			return 0
+		}
+		return -v
+	}
+	return v
+}

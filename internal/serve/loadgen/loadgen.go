@@ -1,0 +1,252 @@
+// Package loadgen generates and replays deterministic open-loop request
+// traffic against a serve.Server. Each simulated client draws Poisson
+// interarrivals from its own named sim stream, so a run with 1000+
+// concurrent clients regenerates bit-identically from (seed, config) on any
+// machine and under any sweep parallelism — the serving analog of the
+// repository's seeded experiment rule. Arrival generation is open loop:
+// clients do not wait for responses, which is what exposes the saturation
+// point of the service instead of throttling to it.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tianhe/internal/serve"
+	"tianhe/internal/sim"
+)
+
+// Config describes one generated load.
+type Config struct {
+	// Seed drives every client stream; same seed, same trace.
+	Seed uint64
+	// Clients is the number of concurrent open-loop clients. 0 selects
+	// DefaultClients.
+	Clients int
+	// Rate is the aggregate arrival rate in jobs per virtual second,
+	// spread evenly across clients. 0 selects DefaultRate.
+	Rate float64
+	// Horizon is the arrival window: clients emit from time 0 to Horizon.
+	// 0 selects DefaultHorizon.
+	Horizon sim.Time
+	// Tenants maps clients onto billing tenants round-robin. Nil selects
+	// DefaultTenants.
+	Tenants []string
+	// SolveFraction is the fraction of jobs that are dense solves; the
+	// rest are DGEMM updates. 0 selects DefaultSolveFraction; negative
+	// means no solves.
+	SolveFraction float64
+	// Shapes are the DGEMM row counts (M) clients draw uniformly; the
+	// shared (N, K) stays fixed per config so jobs can coalesce. Nil
+	// selects DefaultShapes. SolveOrders likewise for solve jobs.
+	Shapes      []int
+	SolveOrders []int
+	// N, K is the shared DGEMM batch shape. 0 selects 256.
+	N, K int
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultClients       = 1024
+	DefaultRate          = 2000.0
+	DefaultHorizon       = sim.Time(0.25)
+	DefaultSolveFraction = 0.25
+)
+
+// DefaultTenants is the default tenant population.
+var DefaultTenants = []string{"alpha", "beta", "gamma", "delta"}
+
+// DefaultShapes are the default DGEMM row draws.
+var DefaultShapes = []int{32, 64, 128, 256}
+
+// DefaultSolveOrders are the default solve order draws.
+var DefaultSolveOrders = []int{256, 512}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = DefaultClients
+	}
+	if c.Rate == 0 {
+		c.Rate = DefaultRate
+	}
+	if c.Horizon == 0 {
+		c.Horizon = DefaultHorizon
+	}
+	if c.Tenants == nil {
+		c.Tenants = DefaultTenants
+	}
+	if c.SolveFraction == 0 {
+		c.SolveFraction = DefaultSolveFraction
+	} else if c.SolveFraction < 0 {
+		c.SolveFraction = 0
+	}
+	if c.Shapes == nil {
+		c.Shapes = DefaultShapes
+	}
+	if c.SolveOrders == nil {
+		c.SolveOrders = DefaultSolveOrders
+	}
+	if c.N == 0 {
+		c.N = 256
+	}
+	if c.K == 0 {
+		c.K = 256
+	}
+	return c
+}
+
+// Arrival is one generated request with its virtual arrival time.
+type Arrival struct {
+	At     sim.Time
+	Client int
+	Req    serve.Request
+}
+
+// Generate produces the full arrival trace for a config, sorted by
+// (time, client) so replay order is total and deterministic.
+func Generate(cfg Config) []Arrival {
+	cfg = cfg.withDefaults()
+	perClient := cfg.Rate / float64(cfg.Clients)
+	var out []Arrival
+	for c := 0; c < cfg.Clients; c++ {
+		rng := sim.NewStream(cfg.Seed, fmt.Sprintf("loadgen/client%d", c))
+		tenant := cfg.Tenants[c%len(cfg.Tenants)]
+		t := sim.Time(0)
+		for {
+			// Exponential interarrival at the client's share of the rate.
+			u := rng.Float64()
+			t += sim.Time(-math.Log(1-u) / perClient)
+			if t >= cfg.Horizon {
+				break
+			}
+			var req serve.Request
+			if rng.Float64() < cfg.SolveFraction {
+				req = serve.Request{
+					Tenant: tenant, Kind: "solve",
+					N: cfg.SolveOrders[rng.Intn(len(cfg.SolveOrders))],
+				}
+			} else {
+				req = serve.Request{
+					Tenant: tenant, Kind: "dgemm",
+					M: cfg.Shapes[rng.Intn(len(cfg.Shapes))],
+					N: cfg.N, K: cfg.K,
+				}
+			}
+			out = append(out, Arrival{At: t, Client: c, Req: req})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floateq exact-timestamp ties must fall through to the client-index tie-breaker for a total order
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out
+}
+
+// TenantStats is one tenant's replay outcome. Latencies are exact order
+// statistics in virtual seconds.
+type TenantStats struct {
+	Tenant                 string
+	Completed, Rejected    int
+	P50Latency, P99Latency float64
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	Arrivals int
+	Stats    serve.Stats
+	Makespan sim.Time
+	// Throughput is sustained completed jobs per virtual second over the
+	// makespan.
+	Throughput float64
+	// P50 and P99 are exact order-statistic latencies over completed jobs
+	// (not histogram estimates), in virtual seconds.
+	P50, P99 float64
+	// MeanBatchJobs is the mean occupancy over executed batches.
+	MeanBatchJobs float64
+	// Failed counts admitted jobs that never completed; the service
+	// contract makes it zero, and replays assert on it.
+	Failed int
+	// Tenants holds per-tenant outcomes sorted by tenant name.
+	Tenants []TenantStats
+}
+
+// Replay submits a generated trace to a server, drains its event loop, and
+// summarizes the outcome.
+func Replay(s *serve.Server, trace []Arrival) (Report, error) {
+	for i, a := range trace {
+		if _, err := s.SubmitAt(a.Req, a.At); err != nil {
+			return Report{}, fmt.Errorf("loadgen: arrival %d: %w", i, err)
+		}
+	}
+	s.Run()
+	return Summarize(s, len(trace)), nil
+}
+
+// Summarize builds a Report from a drained server.
+func Summarize(s *serve.Server, arrivals int) Report {
+	st := s.Stats()
+	rep := Report{
+		Arrivals: arrivals,
+		Stats:    st,
+		Makespan: st.LastEnd,
+		Failed:   st.Admitted - st.Completed,
+	}
+	if st.LastEnd > 0 {
+		rep.Throughput = float64(st.Completed) / float64(st.LastEnd)
+	}
+	if st.Batches > 0 {
+		rep.MeanBatchJobs = float64(st.Completed) / float64(st.Batches)
+	}
+
+	var latencies []float64
+	perTenant := make(map[string]*TenantStats)
+	var order []string
+	tenantLat := make(map[string][]float64)
+	for _, r := range s.Results() {
+		ts, ok := perTenant[r.Tenant]
+		if !ok {
+			ts = &TenantStats{Tenant: r.Tenant}
+			perTenant[r.Tenant] = ts
+			order = append(order, r.Tenant)
+		}
+		if r.Rejected {
+			ts.Rejected++
+			continue
+		}
+		ts.Completed++
+		latencies = append(latencies, r.Latency())
+		tenantLat[r.Tenant] = append(tenantLat[r.Tenant], r.Latency())
+	}
+	rep.P50 = exactQuantile(latencies, 0.50)
+	rep.P99 = exactQuantile(latencies, 0.99)
+	sort.Strings(order)
+	for _, name := range order {
+		ts := perTenant[name]
+		ts.P50Latency = exactQuantile(tenantLat[name], 0.50)
+		ts.P99Latency = exactQuantile(tenantLat[name], 0.99)
+		rep.Tenants = append(rep.Tenants, *ts)
+	}
+	return rep
+}
+
+// exactQuantile returns the q order statistic of xs (nearest-rank on a
+// sorted copy); 0 when empty.
+func exactQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
+)
+
+func TestJobValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		ok   bool
+	}{
+		{"dgemm", Request{Tenant: "a", Kind: "dgemm", M: 64, N: 256, K: 256}, true},
+		{"solve", Request{Tenant: "a", Kind: "solve", N: 512}, true},
+		{"no tenant", Request{Kind: "dgemm", M: 64, N: 256, K: 256}, false},
+		{"bad kind", Request{Tenant: "a", Kind: "lu", N: 64}, false},
+		{"zero shape", Request{Tenant: "a", Kind: "dgemm", M: 0, N: 256, K: 256}, false},
+		{"rows over limit", Request{Tenant: "a", Kind: "dgemm", M: DefaultMaxRows + 1, N: 16, K: 16}, false},
+		{"dim over limit", Request{Tenant: "a", Kind: "dgemm", M: 16, N: DefaultMaxDim + 1, K: 16}, false},
+		{"solve with m", Request{Tenant: "a", Kind: "solve", M: 8, N: 64}, false},
+		{"solve over limit", Request{Tenant: "a", Kind: "solve", N: DefaultMaxRows + 1}, false},
+	}
+	for _, c := range cases {
+		_, err := jobFromRequest(c.req, Limits{})
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSolveAdmissionFlops(t *testing.T) {
+	// The solve admission model must carry the LU's 2/3·n³ flops to within
+	// the rounding of ceil(n/3).
+	for _, n := range []int{33, 100, 512, 1000, 8192} {
+		job, err := jobFromRequest(Request{Tenant: "t", Kind: "solve", N: n}, Limits{})
+		if err != nil {
+			t.Fatalf("solve n=%d: %v", n, err)
+		}
+		want := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+		got := job.Work()
+		if rel := (got - want) / want; rel < 0 || rel > 0.07 {
+			t.Errorf("solve n=%d admitted work %g, want %g (+0..7%%), rel %g", n, got, want, rel)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	req := Request{Tenant: "acme", Kind: "solve", N: 512}
+	data, err := MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, job, err := ParseRequest(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Fatalf("request round trip: got %+v want %+v", back, req)
+	}
+	if job.Kind != Solve || job.M != 512 || job.K != solveK(512) {
+		t.Fatalf("expanded job %+v", job)
+	}
+
+	res := Result{ID: 7, Tenant: "acme", Kind: Solve, Submit: 1, Start: 1.5, End: 2,
+		BatchID: 3, BatchJobs: 4, GSplit: 0.8}
+	data, err = MarshalResponse(ResponseFromResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.LatencySeconds != 1 || resp.BatchJobs != 4 {
+		t.Fatalf("response round trip: %+v", resp)
+	}
+
+	rej := ResponseFromResult(Result{ID: 8, Tenant: "acme", Kind: DGEMM, Rejected: true, RetryAfter: 0.25})
+	data, err = MarshalResponse(rej)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ParseResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "rejected" || resp.RetryAfterSeconds != 0.25 {
+		t.Fatalf("rejection round trip: %+v", resp)
+	}
+}
+
+func TestCodecInvariants(t *testing.T) {
+	bad := []string{
+		`{"status":"maybe","tenant":"a","kind":"dgemm"}`,
+		`{"status":"ok","tenant":"a","kind":"dgemm","retry_after_seconds":1}`,
+		`{"status":"rejected","tenant":"a","kind":"dgemm","latency_seconds":0.5}`,
+		`{"status":"rejected","tenant":"a","kind":"dgemm","batch":9}`,
+	}
+	for _, s := range bad {
+		if _, err := ParseResponse([]byte(s)); err == nil {
+			t.Errorf("ParseResponse(%s) accepted invalid response", s)
+		}
+	}
+}
+
+func TestBatcherAdapts(t *testing.T) {
+	ba := newBatcher(64, 8192, 200e-6, 20e-3)
+	key := batchKey{kind: DGEMM, n: 256, k: 256}
+	// 1000 jobs/s arrivals against a 16 ms batch service time: the target
+	// should converge near λ·s = 16 and the window near target/λ/2 = 8 ms.
+	for i := 1; i <= 200; i++ {
+		ba.observeArrival(key, sim.Time(i)*1e-3)
+		if i%10 == 0 {
+			ba.observeService(key, 16e-3)
+		}
+	}
+	p := ba.policyFor(key)
+	if p.target < 10 || p.target > 24 {
+		t.Fatalf("target = %d, want near 16", p.target)
+	}
+	if p.window < 200e-6 || p.window > 20e-3 {
+		t.Fatalf("window = %g outside bounds", p.window)
+	}
+}
+
+func TestBatcherSealsOnCaps(t *testing.T) {
+	ba := newBatcher(4, 1000, 1e-3, 1e-2)
+	mk := func(m int) *pending {
+		return &pending{job: Job{Kind: DGEMM, M: m, N: 64, K: 64}}
+	}
+	// Push the occupancy target up so only the caps seal.
+	key := batchKey{kind: DGEMM, n: 64, k: 64}
+	ba.policyFor(key).target = 100
+
+	var sealed []*batch
+	for i := 0; i < 4; i++ {
+		s, _ := ba.add(mk(10), 0)
+		sealed = append(sealed, s...)
+	}
+	if len(sealed) != 1 || len(sealed[0].jobs) != 4 {
+		t.Fatalf("occupancy cap: sealed %d batches", len(sealed))
+	}
+	// Row cap: a job that does not stack seals the open batch.
+	if s, _ := ba.add(mk(600), 1e-4); len(s) != 0 {
+		t.Fatalf("unexpected seal: %d", len(s))
+	}
+	s, _ := ba.add(mk(600), 2e-4)
+	if len(s) != 1 || s[0].rows != 600 {
+		t.Fatalf("row cap: sealed %v", s)
+	}
+}
+
+func TestBatcherSealTimer(t *testing.T) {
+	ba := newBatcher(64, 8192, 1e-3, 1e-2)
+	// Cold start seals at occupancy 1 (target starts at 1, so unlearned
+	// traffic pays no batching delay); the window timer only appears once
+	// the target has adapted above 1.
+	p0 := &pending{job: Job{Kind: DGEMM, M: 10, N: 64, K: 64}}
+	if sealed, timer := ba.add(p0, 0); len(sealed) != 1 || timer != nil {
+		t.Fatalf("cold start: sealed=%d timer=%v", len(sealed), timer)
+	}
+	ba.policyFor(batchKey{kind: DGEMM, n: 64, k: 64}).target = 8
+	p := &pending{job: Job{Kind: DGEMM, M: 10, N: 64, K: 64}}
+	sealed, timer := ba.add(p, 1e-4)
+	if len(sealed) != 0 || timer == nil {
+		t.Fatalf("first add: sealed=%d timer=%v", len(sealed), timer)
+	}
+	if b := ba.sealIf(timer.key, timer.seq); b == nil || len(b.jobs) != 1 {
+		t.Fatalf("sealIf missed the open batch")
+	}
+	if b := ba.sealIf(timer.key, timer.seq); b != nil {
+		t.Fatalf("stale sealIf re-sealed")
+	}
+}
+
+// stream submits count DGEMM jobs (m=rows, 256x256 shared shape) from three
+// tenants at a fixed interarrival.
+func stream(t *testing.T, s *Server, count, rows int, dt sim.Time) {
+	t.Helper()
+	tenants := []string{"alpha", "beta", "gamma"}
+	for i := 0; i < count; i++ {
+		req := Request{Tenant: tenants[i%len(tenants)], Kind: "dgemm", M: rows, N: 256, K: 256}
+		if _, err := s.SubmitAt(req, sim.Time(i)*dt); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerCompletesAll(t *testing.T) {
+	run := func() (*Server, []Result) {
+		s, err := New(Config{Seed: 11, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream(t, s, 300, 64, 1e-4)
+		s.Run()
+		return s, s.Results()
+	}
+	s, res := run()
+	st := s.Stats()
+	if st.Offered != 300 || st.Admitted != 300 || st.Rejected != 0 {
+		t.Fatalf("admission: %+v", st)
+	}
+	if st.Completed != st.Admitted {
+		t.Fatalf("lost jobs: completed %d of %d admitted", st.Completed, st.Admitted)
+	}
+	coalesced := false
+	for _, r := range res {
+		if r.Rejected {
+			t.Fatalf("unexpected rejection: %+v", r)
+		}
+		if r.Start < r.Submit || r.End < r.Start {
+			t.Fatalf("time order violated: %+v", r)
+		}
+		if r.BatchJobs > 1 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Fatalf("no batch ever coalesced more than one job")
+	}
+	if st.Batches >= st.Completed {
+		t.Fatalf("batching saved nothing: %d batches for %d jobs", st.Batches, st.Completed)
+	}
+	// Bit-identical replay.
+	_, res2 := run()
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("replay diverged")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	s, err := New(Config{Seed: 3, Workers: 1, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hard burst: everything arrives before the first window closes.
+	stream(t, s, 100, 64, 1e-6)
+	s.Run()
+	st := s.Stats()
+	if st.Rejected == 0 {
+		t.Fatalf("bounded queue never pushed back: %+v", st)
+	}
+	if st.Admitted+st.Rejected != st.Offered {
+		t.Fatalf("admission accounting: %+v", st)
+	}
+	if st.Completed != st.Admitted {
+		t.Fatalf("lost jobs: %+v", st)
+	}
+	if st.QueuePeak > 8 {
+		t.Fatalf("queue grew past cap: peak %d", st.QueuePeak)
+	}
+	for _, r := range s.Results() {
+		if r.Rejected && r.RetryAfter <= 0 {
+			t.Fatalf("rejection without retry-after: %+v", r)
+		}
+	}
+}
+
+func TestLostGPUDrainsNotFails(t *testing.T) {
+	const jobs = 400
+	healthy, err := New(Config{Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, healthy, jobs, 128, 2e-4)
+	healthy.Run()
+	hs := healthy.Stats()
+	if hs.Completed != jobs {
+		t.Fatalf("healthy run lost jobs: %+v", hs)
+	}
+
+	faulted, err := New(Config{
+		Seed: 5, Workers: 2,
+		Scenario: "lost-gpu", ScenarioHorizon: hs.LastEnd, StruckWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, faulted, jobs, 128, 2e-4)
+	faulted.Run()
+	fs := faulted.Stats()
+
+	if fs.Admitted != fs.Offered || fs.Completed != fs.Admitted {
+		t.Fatalf("lost-gpu run failed jobs: %+v", fs)
+	}
+	if fs.Drains == 0 {
+		t.Fatalf("outage never drained a batch: %+v", fs)
+	}
+	if fs.LastEnd < hs.LastEnd {
+		t.Fatalf("losing a GPU sped the run up: healthy %g, faulted %g", hs.LastEnd, fs.LastEnd)
+	}
+	for _, r := range faulted.Results() {
+		if r.Rejected {
+			continue
+		}
+		if r.Drained > 0 && r.End <= r.Start {
+			t.Fatalf("drained job has no execution interval: %+v", r)
+		}
+	}
+}
+
+func TestWholePoolOutageFallsBackToCPU(t *testing.T) {
+	// Every worker struck: no healthy peer to drain to, so batches execute
+	// through the fault-aware CPU fallback — still zero failures.
+	s, err := New(Config{Seed: 9, Workers: 2, Scenario: "lost-gpu", ScenarioHorizon: 0.2, StruckWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, s, 200, 64, 1e-3)
+	s.Run()
+	st := s.Stats()
+	if st.Completed != st.Admitted || st.Admitted != st.Offered {
+		t.Fatalf("pool-wide outage failed jobs: %+v", st)
+	}
+}
+
+func TestPerTenantTelemetry(t *testing.T) {
+	tel := telemetry.New()
+	s, err := New(Config{Seed: 2, Workers: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, s, 90, 64, 1e-4)
+	s.Run()
+
+	var sb strings.Builder
+	tel.Metrics.WriteText(&sb)
+	dump := sb.String()
+	for _, tenant := range []string{"alpha", "beta", "gamma"} {
+		if !strings.Contains(dump, "serve.tenant."+tenant+".completed") {
+			t.Fatalf("tenant %s missing from dump:\n%s", tenant, dump)
+		}
+		if !strings.Contains(dump, "serve.tenant."+tenant+".latency_seconds") {
+			t.Fatalf("tenant %s latency histogram missing", tenant)
+		}
+	}
+	if strings.Contains(dump, "serve.tenant.delta") {
+		t.Fatalf("unknown tenant registered")
+	}
+	if c := tel.Metrics.Counter("serve.jobs.completed").Value(); c != 90 {
+		t.Fatalf("completed counter = %d", c)
+	}
+	h := tel.Metrics.Histogram("serve.latency_seconds", nil)
+	if h.Count() != 90 {
+		t.Fatalf("latency histogram count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q <= 0 {
+		t.Fatalf("p99 = %g", q)
+	}
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	s, err := New(Config{Seed: 4, Workers: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate long enough that rejections late in the run see a measured
+	// completion rate rather than the cold-start fallback.
+	stream(t, s, 2000, 64, 1e-5)
+	s.Run()
+	sawMeasured := false
+	for _, r := range s.Results() {
+		if !r.Rejected {
+			continue
+		}
+		if r.RetryAfter <= 0 {
+			t.Fatalf("non-positive retry-after: %+v", r)
+		}
+		if r.RetryAfter != float64(DefaultMaxWindow) {
+			sawMeasured = true
+		}
+	}
+	if !sawMeasured {
+		t.Fatalf("every retry-after used the cold-start fallback")
+	}
+}

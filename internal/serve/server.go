@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"fmt"
+
+	"tianhe/internal/adaptive"
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+	"tianhe/internal/hybrid"
+	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
+)
+
+// Config describes one solver service instance.
+type Config struct {
+	// Seed drives every deterministic stream of the service: worker element
+	// noise and fault-injection decisions derive from it by name.
+	Seed uint64
+	// Workers is the dispatcher pool size — one compute element plus one
+	// fault-aware adaptive hybrid runner each. 0 selects DefaultWorkers.
+	Workers int
+	// QueueCap bounds the admission queue: jobs admitted but not yet
+	// dispatched. At the bound new arrivals are rejected with a
+	// retry-after estimate — the queue never grows without bound.
+	// 0 selects DefaultQueueCap.
+	QueueCap int
+	// MaxBatch caps batch occupancy (jobs per coalesced call); the
+	// adaptive target stays at or below it. 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxBatchRows caps the stacked row count of one batch (the GPU's 2D
+	// resource limit). 0 selects DefaultMaxRows.
+	MaxBatchRows int
+	// MinWindow and MaxWindow bound the adaptive assembly window. 0
+	// selects DefaultMinWindow / DefaultMaxWindow.
+	MinWindow, MaxWindow sim.Time
+	// Limits bound admissible job shapes (zero value: package defaults).
+	Limits Limits
+	// Scenario optionally names a fault scenario (see fault.Scenarios)
+	// injected into the pool; ScenarioHorizon scales its windows, the way
+	// faultbench scales them to a run's healthy makespan. StruckWorkers is
+	// how many of the pool's elements the scenario hits (0 selects 1;
+	// negative strikes every element).
+	Scenario        string
+	ScenarioHorizon sim.Time
+	StruckWorkers   int
+	// Telemetry receives the service's probes; nil disables them.
+	Telemetry *telemetry.Telemetry
+	// OnResult, when set, observes every result (rejections included) in
+	// completion order.
+	OnResult func(Result)
+}
+
+// Defaults for the zero Config fields.
+const (
+	DefaultWorkers   = 4
+	DefaultQueueCap  = 2048
+	DefaultMaxBatch  = 64
+	DefaultMinWindow = sim.Time(200e-6)
+	DefaultMaxWindow = sim.Time(20e-3)
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBatchRows == 0 {
+		c.MaxBatchRows = DefaultMaxRows
+	}
+	if c.MinWindow == 0 {
+		c.MinWindow = DefaultMinWindow
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = DefaultMaxWindow
+	}
+	if c.StruckWorkers == 0 {
+		c.StruckWorkers = 1
+	}
+	return c
+}
+
+// rewarmHalfLife is the database re-warm half-life (in observations) the
+// pool's fault-aware runners use after device recovery — the PR 3 value.
+const rewarmHalfLife = 8
+
+// pending is one admitted job moving through the service.
+type pending struct {
+	job Job
+	res Result
+}
+
+func (p *pending) key() batchKey {
+	return batchKey{kind: p.job.Kind, n: p.job.N, k: p.job.K}
+}
+
+// worker is one dispatcher slot: a compute element and its hybrid runner.
+type worker struct {
+	idx  int
+	el   *element.Element
+	run  *hybrid.Runner
+	busy bool
+	// parked marks a worker waiting out a device outage after draining a
+	// batch back into the queue; it rejoins the pool at the restore event.
+	parked bool
+}
+
+// Stats aggregates one service run.
+type Stats struct {
+	// Offered counts every submission; Admitted the ones past admission
+	// control; Rejected the bounded-queue rejections. Completed counts
+	// finished jobs — the service has no failure path for admitted jobs,
+	// so after a drained run Completed == Admitted.
+	Offered, Admitted, Rejected, Completed int
+	// Batches counts dispatched hybrid calls; Drains counts batches a
+	// device outage drained back into the queue before execution.
+	Batches, Drains int
+	// QueuePeak is the deepest the admission queue got.
+	QueuePeak int
+	// LastEnd is the completion time of the last finished job.
+	LastEnd sim.Time
+}
+
+// Server is the deterministic virtual-time core of the solver service.
+// All state mutation happens on its single-threaded event loop; the only
+// concurrency in a serve run is across sweep points, never inside one.
+type Server struct {
+	cfg Config
+	lim Limits
+	eng *sim.Engine
+	ba  *Batcher
+
+	workers []*worker
+	ready   []*batch // sealed batches awaiting a worker, FIFO; drains re-enter at the front
+	waiting int      // jobs admitted but not yet dispatched
+
+	nextJobID uint64
+	results   []Result
+	byID      map[uint64]Result
+	stats     Stats
+
+	probes *serverProbes
+}
+
+// serverProbes holds the service's metric handles. Tenant probes register
+// lazily on a tenant's first job (the PR 5 pattern), so runs that never
+// serve keep their metric dumps byte-identical.
+type serverProbes struct {
+	tel *telemetry.Telemetry
+
+	offered, admitted, rejected *telemetry.Counter
+	completed, batches, drains  *telemetry.Counter
+	depth, depthPeak            *telemetry.Gauge
+	occupancy                   *telemetry.Histogram
+	window                      *telemetry.Gauge
+	latency                     *telemetry.Histogram
+
+	tenants map[string]*tenantProbes
+}
+
+// tenantProbes are one tenant's lazily registered metrics.
+type tenantProbes struct {
+	completed, rejected *telemetry.Counter
+	latency             *telemetry.Histogram
+}
+
+// occupancyBuckets grade batch occupancy up to the default cap.
+var occupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// latencyBuckets cover serving latencies from 10 µs to 1000 s of virtual
+// time, four buckets per decade, so p99 stays answerable at sub-millisecond
+// scale (see telemetry.ExpBuckets).
+var latencyBuckets = telemetry.ExpBuckets(1e-5, 1e3, 4)
+
+func (pr *serverProbes) tenant(name string) *tenantProbes {
+	tp, ok := pr.tenants[name]
+	if !ok {
+		prefix := "serve.tenant." + name
+		tp = &tenantProbes{
+			completed: pr.tel.Counter(prefix + ".completed"),
+			rejected:  pr.tel.Counter(prefix + ".rejected"),
+			latency:   pr.tel.Histogram(prefix+".latency_seconds", latencyBuckets),
+		}
+		pr.tenants[name] = tp
+	}
+	return tp
+}
+
+// New assembles a solver service. The error paths are configuration
+// mistakes: an unknown fault scenario or a scenario without a horizon.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	lim := cfg.Limits.withDefaults()
+	if cfg.MaxBatchRows > lim.MaxRows {
+		lim.MaxRows = cfg.MaxBatchRows // a single job may fill a whole batch
+	}
+	s := &Server{
+		cfg:  cfg,
+		lim:  cfg.Limits,
+		eng:  sim.NewEngine(),
+		ba:   newBatcher(cfg.MaxBatch, cfg.MaxBatchRows, cfg.MinWindow, cfg.MaxWindow),
+		byID: make(map[uint64]Result),
+	}
+	if tel := cfg.Telemetry; tel.Enabled() {
+		s.probes = &serverProbes{
+			tel:       tel,
+			offered:   tel.Counter("serve.jobs.offered"),
+			admitted:  tel.Counter("serve.jobs.admitted"),
+			rejected:  tel.Counter("serve.jobs.rejected"),
+			completed: tel.Counter("serve.jobs.completed"),
+			batches:   tel.Counter("serve.batches"),
+			drains:    tel.Counter("serve.drains"),
+			depth:     tel.Gauge("serve.queue.depth"),
+			depthPeak: tel.Gauge("serve.queue.peak"),
+			occupancy: tel.Histogram("serve.batch.occupancy", occupancyBuckets),
+			window:    tel.Gauge("serve.batch.window_seconds.last"),
+			latency:   tel.Histogram("serve.latency_seconds", latencyBuckets),
+			tenants:   make(map[string]*tenantProbes),
+		}
+	}
+
+	scenario := cfg.Scenario != "" && cfg.Scenario != "healthy"
+	if scenario && cfg.ScenarioHorizon <= 0 {
+		return nil, fmt.Errorf("serve: scenario %q needs a positive ScenarioHorizon", cfg.Scenario)
+	}
+	struck := cfg.StruckWorkers
+	if struck < 0 || struck > cfg.Workers {
+		struck = cfg.Workers
+	}
+	maxWork := 2 * float64(cfg.MaxBatchRows) * float64(lim.MaxDim) * float64(lim.MaxDim)
+	for i := 0; i < cfg.Workers; i++ {
+		elSeed := sim.NewStream(cfg.Seed, fmt.Sprintf("serve/worker%d", i)).Uint64()
+		el := element.New(element.Config{Seed: elSeed, Virtual: true})
+		part := adaptive.NewAdaptive(64, maxWork, el.InitialGSplit(), el.CPU.NumCores())
+		run := hybrid.New(el, element.ACMLGBoth, part)
+		// The pool is always fault-aware: a lost device falls back to the
+		// cores (with database_g quarantine and post-restore re-warm)
+		// rather than poisoning the service.
+		run.EnableGPUFaultFallback(rewarmHalfLife)
+		if scenario && i < struck {
+			inSeed := sim.NewStream(cfg.Seed, fmt.Sprintf("serve/fault%d", i)).Uint64()
+			in, err := fault.NewScenario(cfg.Scenario, cfg.ScenarioHorizon, inSeed)
+			if err != nil {
+				return nil, err
+			}
+			fault.Attach(in, el)
+			in.Instrument(cfg.Telemetry)
+		}
+		if cfg.Telemetry.Enabled() {
+			run.Instrument(cfg.Telemetry)
+		}
+		s.workers = append(s.workers, &worker{idx: i, el: el, run: run})
+	}
+	return s, nil
+}
+
+// Engine exposes the service's event loop (the load generator schedules
+// arrival events onto it).
+func (s *Server) Engine() *sim.Engine { return s.eng }
+
+// Now returns the current virtual time.
+func (s *Server) Now() sim.Time { return s.eng.Now() }
+
+// Batcher exposes the adaptive batching state (tests and metrics).
+func (s *Server) Batcher() *Batcher { return s.ba }
+
+// Stats returns the run's aggregate counters so far.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Results returns every recorded result in completion order.
+func (s *Server) Results() []Result { return s.results }
+
+// Result returns the outcome of the given job id, if resolved.
+func (s *Server) Result(id uint64) (Result, bool) {
+	r, ok := s.byID[id]
+	return r, ok
+}
+
+// SubmitAt validates a request and schedules its arrival at the given
+// virtual time (which must not precede the event loop's current time).
+// The returned id resolves through Result once the event loop passes the
+// job's completion. Validation failures are errors; admission rejections
+// are not — they surface as a Result with Rejected set.
+func (s *Server) SubmitAt(req Request, at sim.Time) (uint64, error) {
+	job, err := jobFromRequest(req, s.lim)
+	if err != nil {
+		return 0, err
+	}
+	s.nextJobID++
+	job.ID = s.nextJobID
+	job.Submit = at
+	s.eng.At(at, func() { s.arrive(job) })
+	return job.ID, nil
+}
+
+// Run drains the event loop: every scheduled arrival is admitted or
+// rejected, every admitted job batched, dispatched, and completed.
+func (s *Server) Run() sim.Time { return s.eng.Run() }
+
+// arrive is the admission gate.
+func (s *Server) arrive(job Job) {
+	s.stats.Offered++
+	if pr := s.probes; pr != nil {
+		pr.offered.Inc()
+	}
+	if s.waiting >= s.cfg.QueueCap {
+		res := Result{
+			ID:         job.ID,
+			Tenant:     job.Tenant,
+			Kind:       job.Kind,
+			Rejected:   true,
+			RetryAfter: s.retryAfter(),
+			Submit:     job.Submit,
+		}
+		s.stats.Rejected++
+		if pr := s.probes; pr != nil {
+			pr.rejected.Inc()
+			pr.tenant(job.Tenant).rejected.Inc()
+		}
+		s.finish(res)
+		return
+	}
+	s.stats.Admitted++
+	s.waiting++
+	if s.waiting > s.stats.QueuePeak {
+		s.stats.QueuePeak = s.waiting
+	}
+	if pr := s.probes; pr != nil {
+		pr.admitted.Inc()
+		pr.depth.Set(float64(s.waiting))
+		pr.depthPeak.Set(float64(s.stats.QueuePeak))
+	}
+	p := &pending{job: job}
+	sealed, timer := s.ba.add(p, s.eng.Now())
+	if timer != nil {
+		t := *timer
+		s.eng.At(t.at, func() {
+			if b := s.ba.sealIf(t.key, t.seq); b != nil {
+				s.ready = append(s.ready, b)
+				s.pump()
+			}
+		})
+	}
+	s.ready = append(s.ready, sealed...)
+	s.pump()
+}
+
+// retryAfter estimates when queue capacity frees up: the backlog divided
+// by the measured completion rate, floored at the minimum batch window.
+func (s *Server) retryAfter() float64 {
+	now := s.eng.Now()
+	if s.stats.Completed == 0 || now <= 0 {
+		return float64(s.cfg.MaxWindow)
+	}
+	rate := float64(s.stats.Completed) / now
+	est := float64(s.waiting) / rate
+	if est < float64(s.cfg.MinWindow) {
+		est = float64(s.cfg.MinWindow)
+	}
+	return est
+}
+
+// pickWorker returns the lowest-index idle worker, nil when none.
+func (s *Server) pickWorker() *worker {
+	for _, w := range s.workers {
+		if !w.busy && !w.parked {
+			return w
+		}
+	}
+	return nil
+}
+
+// healthyElsewhere reports whether any other worker's device currently
+// answers (context alive, or hardware back so the fault-aware runner can
+// re-initialize) — the condition under which draining a batch away from a
+// dead device is better than grinding it through the CPU fallback.
+func (s *Server) healthyElsewhere(w *worker, now sim.Time) bool {
+	for _, v := range s.workers {
+		if v == w {
+			continue
+		}
+		dev := v.el.GPU
+		if dev.Health() == nil || dev.AvailableAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// outage reports whether w's device is mid-loss at now: the context is
+// poisoned and the hardware does not answer, so a dispatch would run
+// entirely on the cores.
+func outage(w *worker, now sim.Time) bool {
+	dev := w.el.GPU
+	return dev.Health() != nil && dev.ContextDead(now) && !dev.AvailableAt(now)
+}
+
+// pump matches sealed batches to idle workers until one side runs dry.
+// A batch headed for a worker whose GPU is mid-outage drains back into the
+// queue instead (keeping its place at the front) while the pool still has
+// a healthy device to run it on; the dead worker parks until its hardware
+// answers again. With the whole pool down, batches execute anyway — the
+// fault-aware runners collapse the split to the cores, so throughput
+// degrades but no admitted job ever fails.
+func (s *Server) pump() {
+	now := s.eng.Now()
+	for len(s.ready) > 0 {
+		w := s.pickWorker()
+		if w == nil {
+			return
+		}
+		b := s.ready[0]
+		if outage(w, now) && s.healthyElsewhere(w, now) {
+			s.drainPark(b, w, now)
+			continue
+		}
+		s.ready = s.ready[1:]
+		s.execute(b, w)
+	}
+}
+
+// drainPark records a drain of b off worker w and parks w until its
+// device answers again. The batch stays at the front of the queue, jobs
+// intact, for the next healthy worker.
+func (s *Server) drainPark(b *batch, w *worker, now sim.Time) {
+	b.drained++
+	s.stats.Drains++
+	if pr := s.probes; pr != nil {
+		pr.drains.Inc()
+		pr.tel.Trace.Instant("serve", "serve", fmt.Sprintf("drain.w%d", w.idx), now)
+	}
+	w.parked = true
+	restore := w.el.GPU.Health().RestoredAt(now)
+	if restore < now {
+		// Unreachable: outage() implies the loss window covers now, and
+		// loss windows are half-open, so restore > now. Kept so a broken
+		// health source cannot schedule into the past.
+		restore = now
+	}
+	s.eng.At(restore, func() {
+		w.parked = false
+		s.pump()
+	})
+}
+
+// execute books one sealed batch on a worker as a single hybrid call and
+// schedules its completion.
+func (s *Server) execute(b *batch, w *worker) {
+	now := s.eng.Now()
+	s.waiting -= len(b.jobs)
+	if pr := s.probes; pr != nil {
+		pr.depth.Set(float64(s.waiting))
+	}
+	w.busy = true
+	rep := w.run.GemmVirtual(b.rows, b.key.n, b.key.k, 1, now)
+	if rep.Stalled {
+		// Unreachable with the pool's fault-aware runners; kept so a future
+		// fault-unaware backend drains the batch instead of failing jobs.
+		w.busy = false
+		s.waiting += len(b.jobs)
+		if pr := s.probes; pr != nil {
+			pr.depth.Set(float64(s.waiting))
+		}
+		s.ready = append([]*batch{b}, s.ready...)
+		s.drainPark(b, w, now)
+		return
+	}
+	s.stats.Batches++
+	if pr := s.probes; pr != nil {
+		pr.batches.Inc()
+		pr.occupancy.Observe(float64(len(b.jobs)))
+		pr.window.Set(float64(s.ba.window(b.key)))
+	}
+	for _, p := range b.jobs {
+		p.res = Result{
+			ID:        p.job.ID,
+			Tenant:    p.job.Tenant,
+			Kind:      p.job.Kind,
+			Submit:    p.job.Submit,
+			Start:     now,
+			End:       rep.End,
+			BatchID:   b.id,
+			BatchJobs: len(b.jobs),
+			GSplit:    rep.GSplit,
+			Drained:   b.drained,
+		}
+	}
+	s.eng.At(rep.End, func() { s.complete(b, w, now) })
+}
+
+// complete retires a batch: service-rate feedback to the batcher, results
+// out, worker back into the pool.
+func (s *Server) complete(b *batch, w *worker, dispatchedAt sim.Time) {
+	now := s.eng.Now()
+	s.ba.observeService(b.key, now-dispatchedAt)
+	for _, p := range b.jobs {
+		s.stats.Completed++
+		if p.res.End > s.stats.LastEnd {
+			s.stats.LastEnd = p.res.End
+		}
+		if pr := s.probes; pr != nil {
+			pr.completed.Inc()
+			pr.latency.Observe(p.res.Latency())
+			tp := pr.tenant(p.res.Tenant)
+			tp.completed.Inc()
+			tp.latency.Observe(p.res.Latency())
+		}
+		s.finish(p.res)
+	}
+	w.busy = false
+	s.pump()
+}
+
+// finish records a resolved result and notifies the observer.
+func (s *Server) finish(res Result) {
+	s.results = append(s.results, res)
+	s.byID[res.ID] = res
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(res)
+	}
+}

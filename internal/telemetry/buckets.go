@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpBuckets returns geometrically spaced histogram bucket upper bounds
+// covering [lo, hi] with perDecade buckets per decade. The fixed linear
+// buckets used elsewhere in the repository cannot answer tail quantiles
+// across the orders of magnitude a serving latency distribution spans —
+// sub-millisecond batched calls up to multi-second drained batches — so
+// latency histograms grade their buckets geometrically: relative
+// resolution is constant (each bound is 10^(1/perDecade) times the last),
+// which keeps p99 meaningful at every scale the distribution reaches.
+//
+// The first bound is exactly lo; bounds grow until one reaches or passes
+// hi. The function is deterministic and callers treat the slice as
+// immutable (Registry.Histogram copies it).
+func ExpBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade < 1 {
+		panic(fmt.Sprintf("telemetry: bad ExpBuckets(%g, %g, %d)", lo, hi, perDecade))
+	}
+	var bounds []float64
+	for i := 0; ; i++ {
+		b := lo * math.Pow(10, float64(i)/float64(perDecade))
+		bounds = append(bounds, b)
+		if b >= hi {
+			return bounds
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBucketsShape(t *testing.T) {
+	b := ExpBuckets(1e-5, 1e3, 4)
+	if b[0] != 1e-5 {
+		t.Fatalf("first bound = %g, want lo", b[0])
+	}
+	if last := b[len(b)-1]; last < 1e3 {
+		t.Fatalf("last bound = %g, does not reach hi", last)
+	}
+	// 8 decades at 4 per decade, inclusive of both endpoints.
+	if len(b) != 33 {
+		t.Fatalf("got %d bounds, want 33", len(b))
+	}
+	ratio := math.Pow(10, 0.25)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-ratio) > 1e-9*ratio {
+			t.Fatalf("ratio at %d = %g, want %g", i, r, ratio)
+		}
+	}
+}
+
+func TestExpBucketsHistogramQuantiles(t *testing.T) {
+	// The serving motivation: a distribution spanning microseconds to
+	// seconds must still yield a tail quantile of the right magnitude.
+	r := NewRegistry()
+	h := r.Histogram("lat", ExpBuckets(1e-6, 10, 4))
+	for i := 0; i < 99; i++ {
+		h.Observe(5e-4)
+	}
+	h.Observe(2.0)
+	p99 := h.Quantile(0.99)
+	if p99 < 1e-4 || p99 > 10 {
+		t.Fatalf("p99 = %g, want within the observed range", p99)
+	}
+	if p50 := h.Quantile(0.50); p50 < 1e-4 || p50 > 1e-3 {
+		t.Fatalf("p50 = %g, want near 5e-4", p50)
+	}
+}
+
+func TestExpBucketsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		lo, hi    float64
+		perDecade int
+	}{
+		{"zero lo", 0, 1, 4},
+		{"negative lo", -1, 1, 4},
+		{"hi below lo", 1, 0.5, 4},
+		{"zero perDecade", 1e-3, 1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExpBuckets(%g, %g, %d) did not panic", tc.lo, tc.hi, tc.perDecade)
+				}
+			}()
+			ExpBuckets(tc.lo, tc.hi, tc.perDecade)
+		})
+	}
+}

@@ -15,7 +15,9 @@ go run ./cmd/tianhelint
 # without it (CGO_ENABLED=0 or no C compiler) so check works everywhere.
 # The -race run doubles as the gate for the parallel sweep runner: the
 # TestParDeterminism goldens in internal/experiments compare -par 1
-# against -par 8 byte for byte under the detector.
+# against -par 8 byte for byte under the detector — including the serving
+# sweep (TestParDeterminismServeSweep), whose per-tenant metric dumps and
+# verdict tables must match across parallelism.
 if [ "$(go env CGO_ENABLED)" = "1" ]; then
     go test -race ./...
 else
