@@ -15,9 +15,11 @@ vet:
 	go vet ./...
 
 # lint runs the repository's custom invariant analyzers (see
-# internal/analyzers and the README "Static analysis" section).
+# internal/analyzers and the README "Static analysis" section), with the
+# interprocedural checks over the whole-module call graph and the
+# clock/rand contract applied inside _test.go files too.
 lint:
-	go run ./cmd/tianhelint
+	go run ./cmd/tianhelint -tests -par 8
 
 test:
 	go test ./...

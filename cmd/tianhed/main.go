@@ -15,7 +15,8 @@
 // arrival instants are mapped onto the service's virtual timeline at the
 // edge, and everything behind the handler — admission, batching, dispatch,
 // fault handling — runs deterministic virtual time (the nowalltime and
-// servepure lint checks enforce the boundary over internal/).
+// detpure lint checks enforce the boundary over internal/; cmd/ is the
+// contract table's declared wall-clock edge).
 //
 // Bench mode (-bench) replays the seeded open-loop load sweep (healthy and
 // lost-gpu) entirely in virtual time and writes BENCH_serve.json, the

@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	tianhelint [-json] [-checks nowalltime,floateq,...] [-list]
+//	tianhelint [-json] [-why] [-par N] [-tests] [-checks nowalltime,floateq,...] [-list]
+//
+// The interprocedural checks (detpure, lockorder, goroleak) justify their
+// findings with a call path; -why prints it under each finding (JSON output
+// always carries it). -par runs the per-package passes concurrently over
+// the shared read-only module state; findings are byte-identical at any
+// setting. -tests additionally loads in-package _test.go files and applies
+// the checks that opt in (the clock and randomness contracts) to them.
 //
 // Findings can be suppressed per site with
 //
@@ -17,14 +24,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"tianhe/internal/analyzers"
+	"tianhe/internal/sweep"
 )
 
 func main() {
@@ -32,19 +42,23 @@ func main() {
 }
 
 type jsonFinding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Check   string   `json:"check"`
+	Message string   `json:"message"`
+	Why     []string `json:"why,omitempty"`
 }
 
-func run(stdout, stderr *os.File, args []string) int {
+func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("tianhelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list the available checks and exit")
+	why := fs.Bool("why", false, "print the justifying call path under each interprocedural finding")
+	par := fs.Int("par", 1, "package-level analysis parallelism (findings are identical at any setting)")
+	tests := fs.Bool("tests", false, "also lint in-package _test.go files with the checks that opt in (clock and randomness)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,13 +99,25 @@ func run(stdout, stderr *os.File, args []string) int {
 		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		fmt.Fprintf(stderr, "tianhelint: %v\n", err)
 		return 2
 	}
 
-	findings := analyzers.Run(loader.Fset(), pkgs, checks)
+	// The module (call graph, facts, contracts, lock cycles) is built once
+	// and read-only afterwards; the per-package passes then fan out over the
+	// deterministic sweep runner, so -par N output matches -par 1 exactly.
+	mod := analyzers.BuildModule(loader.Fset(), pkgs, &analyzers.ModuleOptions{IncludeTests: *tests})
+	perPkg := sweep.Map(context.Background(), *par, pkgs, func(i int, pkg *analyzers.Package) []analyzers.Finding {
+		return mod.RunPackage(pkg, checks)
+	})
+	var findings []analyzers.Finding
+	for _, pf := range perPkg {
+		findings = append(findings, pf...)
+	}
+	analyzers.SortFindings(findings)
 
 	rel := func(path string) string {
 		if r, err := filepath.Rel(root, path); err == nil {
@@ -99,12 +125,19 @@ func run(stdout, stderr *os.File, args []string) int {
 		}
 		return path
 	}
+	relHops := func(why []string) []string {
+		out := make([]string, len(why))
+		for i, hop := range why {
+			out[i] = strings.ReplaceAll(hop, root+string(filepath.Separator), "")
+		}
+		return out
+	}
 	if *jsonOut {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
 				File: rel(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
-				Check: f.Check, Message: f.Message,
+				Check: f.Check, Message: f.Message, Why: relHops(f.Why),
 			})
 		}
 		enc := json.NewEncoder(stdout)
@@ -117,6 +150,11 @@ func run(stdout, stderr *os.File, args []string) int {
 		for _, f := range findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n",
 				rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Check)
+			if *why {
+				for _, hop := range relHops(f.Why) {
+					fmt.Fprintf(stdout, "\twhy: %s\n", hop)
+				}
+			}
 		}
 	}
 	if len(findings) > 0 {

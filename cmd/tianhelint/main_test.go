@@ -1,17 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"testing"
+	"time"
 
 	"tianhe/internal/analyzers"
 )
 
-// TestShippedTreeIsClean is the acceptance gate: the full analyzer suite
-// must report zero findings over the module as committed. Any new
-// time.Now call, global math/rand use, unguarded nil-bundle field read,
-// float ==, ordered map-iteration sink, or by-value lock copy in non-test
-// code fails this test (and therefore `go test ./...` and `make check`).
+// TestShippedTreeIsClean is the acceptance gate: the full analyzer suite —
+// including the interprocedural detpure/lockorder/goroleak checks and, via
+// IncludeTests, the clock/rand contract inside _test.go files — must
+// report zero findings over the module as committed. Any new time.Now
+// call, global math/rand use, contract-package impurity, lock-order
+// cycle, or leaked goroutine in the tree fails this test (and therefore
+// `go test ./...` and `make check`).
 func TestShippedTreeIsClean(t *testing.T) {
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -25,6 +29,7 @@ func TestShippedTreeIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	loader.IncludeTests = true
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		t.Fatalf("loading module packages: %v", err)
@@ -32,8 +37,53 @@ func TestShippedTreeIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; the loader is missing parts of the tree", len(pkgs))
 	}
-	findings := analyzers.Run(loader.Fset(), pkgs, analyzers.All())
+	mod := analyzers.BuildModule(loader.Fset(), pkgs, &analyzers.ModuleOptions{IncludeTests: true})
+	findings := analyzers.RunModule(mod, analyzers.All())
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// runLint drives the CLI entry point with captured output.
+func runLint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(&out, &errOut, args)
+	if code == 2 {
+		t.Fatalf("lint load error: %s", errOut.String())
+	}
+	return out.String(), code
+}
+
+// TestParFindingsIdentical pins the -par contract: the whole-module run at
+// -par 1 and -par 8 must produce byte-identical output and the same exit
+// code (the passes fan out over read-only module state, so this also runs
+// the suite's concurrency under -race in CI). The serial run doubles as
+// the latency guard: whole-module analysis must stay under 30 seconds or
+// `make lint` stops being something people run before committing.
+func TestParFindingsIdentical(t *testing.T) {
+	start := time.Now() //lint:ignore nowalltime guarding the wall-clock latency of the lint run itself
+	serial, codeSerial := runLint(t, "-tests", "-par", "1")
+	elapsed := time.Since(start) //lint:ignore nowalltime guarding the wall-clock latency of the lint run itself
+	parallel, codeParallel := runLint(t, "-tests", "-par", "8")
+	if serial != parallel {
+		t.Errorf("-par 1 and -par 8 output differ:\n--- par 1 ---\n%s\n--- par 8 ---\n%s", serial, parallel)
+	}
+	if codeSerial != codeParallel {
+		t.Errorf("-par 1 exit %d, -par 8 exit %d", codeSerial, codeParallel)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("whole-module analysis took %v; the 30s budget keeps make lint usable pre-commit", elapsed)
+	}
+}
+
+// BenchmarkLintModule tracks the cost of one whole-module analysis run
+// (load, type-check, call graph, facts fixpoint, all checks).
+func BenchmarkLintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out, errOut bytes.Buffer
+		if code := run(&out, &errOut, []string{"-par", "8"}); code == 2 {
+			b.Fatalf("lint load error: %s", errOut.String())
+		}
 	}
 }

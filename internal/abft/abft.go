@@ -14,8 +14,8 @@
 // single-digit percents for the paper's 8192-wide tiles (see VerifyFlops).
 //
 // Purity: everything in this package is a pure function of its arguments —
-// no wall clock, no global randomness, no package-level state. The abftpure
-// analyzer in internal/analyzers enforces this, because verification and
+// no wall clock, no global randomness, no package-level state. The detpure
+// contract in internal/analyzers enforces this, because verification and
 // recomputation run on the recovery hot path of deterministic simulations.
 package abft
 

@@ -3,8 +3,10 @@ package analyzers
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -34,8 +36,87 @@ func RunFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 
 	findings := Run(l.Fset(), []*Package{pkg}, []*Analyzer{a})
-	wants := collectWants(t, l.Fset(), pkg)
+	diffWants(t, l.Fset(), []*Package{pkg}, findings)
+}
 
+// RunModuleFixture loads every package under testdata/src/<fixture> —
+// including nested directories importing each other as
+// "tianhelint.test/<fixture>/<sub>" — builds the shared interprocedural
+// state with the given contract table (nil for the shipped defaults), runs
+// the checks over every fixture package, and diffs the findings against
+// the fixtures' `// want` comments. This is how the transitive-taint,
+// lock-cycle, and facts fixtures exercise cross-package chains.
+func RunModuleFixture(t *testing.T, checks []*Analyzer, fixture string, contracts *ContractTable) *Module {
+	t.Helper()
+	l, pkgs := loadFixtureTree(t, fixture)
+	mod := BuildModule(l.Fset(), pkgs, &ModuleOptions{Contracts: contracts})
+	findings := RunModule(mod, checks)
+	diffWants(t, l.Fset(), pkgs, findings)
+	return mod
+}
+
+// FixtureModule is the import-path prefix fixture packages load under.
+const FixtureModule = "tianhelint.test"
+
+// loadFixtureTree loads testdata/src/<fixture> and every package directory
+// below it, in sorted order.
+func loadFixtureTree(t *testing.T, fixture string) (*Loader, []*Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "analyzers", "testdata", "src", fixture)
+	l.AddModule(FixtureModule+"/"+fixture, dir)
+
+	var dirs []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".go") {
+			pd := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != pd {
+				dirs = append(dirs, pd)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixture %s: %v", fixture, err)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, pd := range dirs {
+		rel, err := filepath.Rel(dir, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := FixtureModule + "/" + fixture
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(pd, path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return l, pkgs
+}
+
+// diffWants matches findings against the fixtures' want comments: every
+// finding needs a matching want on its line, every want needs a finding.
+func diffWants(t *testing.T, fset *token.FileSet, pkgs []*Package, findings []Finding) {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		collectWants(t, fset, pkg, wants)
+	}
 	for _, f := range findings {
 		key := wantKey{f.Pos.Filename, f.Pos.Line}
 		matched := false
@@ -71,10 +152,9 @@ func posString(p token.Position) string {
 var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
 // collectWants extracts `// want "..." "..."` expectations from the
-// fixture's comments, keyed by (file, line).
-func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[wantKey][]*regexp.Regexp {
+// fixture's comments into out, keyed by (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package, out map[wantKey][]*regexp.Regexp) {
 	t.Helper()
-	out := make(map[wantKey][]*regexp.Regexp)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -98,5 +178,4 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[wantKey][
 			}
 		}
 	}
-	return out
 }

@@ -7,6 +7,15 @@
 // Go map iteration. Each invariant is a self-contained Analyzer run by
 // cmd/tianhelint over every non-test package in the module.
 //
+// On top of the per-package syntactic checks sits an interprocedural layer:
+// a whole-module call graph (callgraph.go), a per-function fact store
+// propagated to fixpoint and serializable per package (facts.go), and a
+// declarative per-package contract table (contracts.go) driving the
+// detpure, lockorder, and goroleak checks. The shared state is built once
+// per run (module.go) and is read-only afterwards, so per-package passes
+// run concurrently under -par with byte-identical findings, and every
+// interprocedural finding carries the call path that justifies it (-why).
+//
 // The suite is stdlib-only (go/ast, go/parser, go/types, go/importer): the
 // module has zero dependencies and the lint layer must not be the thing
 // that changes that. The Analyzer/Pass shapes mirror
@@ -39,6 +48,10 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings for one package through the pass.
 	Run func(*Pass)
+	// Tests marks checks that also apply inside _test.go files when the
+	// module was loaded with them (tianhelint -tests): test helpers obey
+	// the same clock/rand contract as shipped code.
+	Tests bool
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -48,6 +61,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Mod is the shared whole-program state (call graph, facts,
+	// contracts); nil only when a check is driven outside Run/RunPackage.
+	Mod *Module
 
 	findings *[]Finding
 }
@@ -57,6 +73,9 @@ type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Why, when set, is the call path justifying an interprocedural
+	// finding, one hop per line (printed by tianhelint -why).
+	Why []string
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -73,6 +92,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportWhy records a finding at pos carrying a justifying call path.
+func (p *Pass) ReportWhy(pos token.Pos, why []string, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), why, format, args...)
+}
+
+// reportAt records a finding at an already-resolved position — the
+// interprocedural checks carry fact positions as token.Position.
+func (p *Pass) reportAt(pos token.Position, why []string, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:     pos,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Why:     why,
+	})
+}
+
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -83,9 +118,9 @@ func All() []*Analyzer {
 		FloatEq,
 		MapIterOrder,
 		MutexCopy,
-		SweepPure,
-		ABFTPure,
-		ServePure,
+		DetPure,
+		LockOrder,
+		GoroLeak,
 	}
 }
 
@@ -99,25 +134,26 @@ func Lookup(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package, applies lint:ignore
-// suppression, and returns the surviving findings sorted by position.
+// Run builds the shared module state, applies each analyzer to each
+// package, applies lint:ignore suppression, and returns the surviving
+// findings sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, checks []*Analyzer) []Finding {
+	return RunModule(BuildModule(fset, pkgs, nil), checks)
+}
+
+// RunModule runs the checks over every package of an already-built module.
+func RunModule(m *Module, checks []*Analyzer) []Finding {
 	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range checks {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				findings:  &findings,
-			}
-			a.Run(pass)
-		}
-		findings = append(findings, malformedDirectives(fset, pkg.Files)...)
+	for _, pkg := range m.Pkgs {
+		findings = append(findings, m.RunPackage(pkg, checks)...)
 	}
-	findings = suppress(fset, pkgs, findings)
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by position then check name — the stable
+// output order `-par 1` and `-par 8` runs both produce.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -129,9 +165,11 @@ func Run(fset *token.FileSet, pkgs []*Package, checks []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
 // ignoreKey addresses one (file, line) pair for suppression lookup.
@@ -220,6 +258,16 @@ func suppress(fset *token.FileSet, pkgs []*Package, findings []Finding) []Findin
 		kept = append(kept, f)
 	}
 	return kept
+}
+
+// skipFile reports whether the file is out of scope for this pass:
+// _test.go sources are linted only when the module was loaded with tests
+// (tianhelint -tests) and the analyzer opted in via Analyzer.Tests.
+func (p *Pass) skipFile(f *ast.File) bool {
+	if !isTestFile(p.Fset, f.Pos()) {
+		return false
+	}
+	return p.Mod == nil || !p.Mod.IncludeTests || !p.Analyzer.Tests
 }
 
 // isTestFile reports whether pos lies in a _test.go file. The loader skips

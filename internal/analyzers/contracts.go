@@ -1,0 +1,62 @@
+package analyzers
+
+import "strings"
+
+// Contract is one package's determinism contract, enforced by detpure.
+type Contract struct {
+	// Pure forbids the package's functions from transitively reaching a
+	// wall-clock, ambient-randomness, or host-environment source — through
+	// any chain of calls, across any number of packages.
+	Pure bool
+	// NoGlobalWrites additionally forbids direct writes to package-level
+	// variables anywhere in the package: its state must live in receivers
+	// or on the stack so concurrent instances cannot interfere.
+	NoGlobalWrites bool
+	// Why is the one-line justification quoted in findings.
+	Why string
+}
+
+// enforced reports whether the contract asks for any checking at all.
+func (c Contract) enforced() bool { return c.Pure || c.NoGlobalWrites }
+
+// ContractTable maps import paths to contracts. Declaring a new package's
+// contract is one Rules line; packages under Module outside cmd/ need no
+// line at all — they are the deterministic core by default.
+type ContractTable struct {
+	// Module is the module path whose packages default to {Pure: true},
+	// except the cmd/ subtree — the declared wall-clock edge.
+	Module string
+	// Rules are the explicit per-package contracts, by import path. An
+	// explicit zero Contract opts a package out of the core default.
+	Rules map[string]Contract
+}
+
+// Lookup resolves the contract for one import path.
+func (t ContractTable) Lookup(path string) Contract {
+	if c, ok := t.Rules[path]; ok {
+		return c
+	}
+	if t.Module != "" && (path == t.Module || strings.HasPrefix(path, t.Module+"/")) {
+		if strings.HasPrefix(path, t.Module+"/cmd/") {
+			return Contract{}
+		}
+		return Contract{Pure: true, Why: "the deterministic core replays bit-identically from its seeds"}
+	}
+	return Contract{}
+}
+
+// DefaultContracts is the shipped tree's contract table. Everything
+// outside cmd/ is deterministic core (transitively clock/rand/env-free);
+// the packages below carry the stricter no-package-state contract the
+// retired abftpure/servepure analyzers used to enforce one copy at a time.
+func DefaultContracts() ContractTable {
+	return ContractTable{
+		Module: "tianhe",
+		Rules: map[string]Contract{
+			"tianhe/internal/abft":          {Pure: true, NoGlobalWrites: true, Why: "checksum verdicts must be a pure function of the matrix bytes"},
+			"tianhe/internal/serve":         {Pure: true, NoGlobalWrites: true, Why: "admission and batching must replay bit-identically from (seed, config)"},
+			"tianhe/internal/serve/loadgen": {Pure: true, NoGlobalWrites: true, Why: "generated arrivals must replay bit-identically from the seed"},
+			"tianhe/internal/sweep":         {Pure: true, NoGlobalWrites: true, Why: "the parallel runner itself must not carry cross-point state"},
+		},
+	}
+}

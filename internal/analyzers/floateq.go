@@ -25,7 +25,7 @@ var FloatEq = &Analyzer{
 
 func runFloatEq(pass *Pass) {
 	for _, f := range pass.Files {
-		if isTestFile(pass.Fset, f.Pos()) {
+		if pass.skipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in library packages to have a
+// provable termination path: the spawned function — a literal checked in
+// place, or a named function checked through its call-graph summary — must
+// reach a channel receive, a select, a range over a channel, a
+// WaitGroup.Done/Wait, or a context Done. A worker that can never observe
+// "stop" outlives its owner, and in a server that serves millions of
+// requests, leaked goroutines are the slow death CI never sees. Binaries
+// (package main) are exempt: their goroutines die with the process.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "require a provable termination path for every go statement in " +
+		"library packages: the spawned body must reach a channel receive, " +
+		"select, channel range, WaitGroup.Done/Wait, or context Done — " +
+		"directly or through the functions it calls",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if pass.Mod == nil || pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, node := range pass.Mod.pkgNodes(pass.Pkg.Path()) {
+		if node.testFile {
+			continue
+		}
+		for _, sp := range node.spawns {
+			switch {
+			case sp.Lit != nil:
+				if !litTerminates(pass, sp.Lit) {
+					pass.Reportf(sp.Pos,
+						"goroutine spawned by %s has no provable termination path: the body reaches no channel receive, select, channel range, WaitGroup.Done/Wait, or context Done",
+						node.Display())
+				}
+			case sp.Target != nil:
+				f := pass.Mod.Facts.FuncFacts(sp.Target.Pkg.Path, sp.Target.Name)
+				if f == nil || !f.Terminates {
+					pass.Reportf(sp.Pos,
+						"goroutine %s spawned by %s has no provable termination path: it reaches no channel receive, select, channel range, WaitGroup.Done/Wait, or context Done",
+						sp.Target.Display(), node.Display())
+				}
+			default:
+				pass.Reportf(sp.Pos,
+					"goroutine spawned by %s through a function value cannot be proven to terminate: spawn a literal or named function with a reachable stop signal",
+					node.Display())
+			}
+		}
+	}
+}
+
+// litTerminates reports whether a spawned function literal contains a
+// termination signal directly or references a function whose summary
+// reaches one.
+func litTerminates(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if isTermCall(pass, e) {
+				found = true
+			}
+		case *ast.Ident:
+			if fn, ok := pass.TypesInfo.Uses[e].(*types.Func); ok {
+				for _, res := range pass.Mod.graph.resolve(fn) {
+					f := pass.Mod.Facts.FuncFacts(res.node.Pkg.Path, res.node.Name)
+					if f != nil && f.Terminates {
+						found = true
+						break
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTermCall reports whether sel is a WaitGroup.Done/Wait or
+// context.Context.Done method reference.
+func isTermCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "sync" && isRecvNamed(s.Recv(), "sync", "WaitGroup") &&
+		(fn.Name() == "Done" || fn.Name() == "Wait"):
+		return true
+	case fn.Pkg().Path() == "context" && fn.Name() == "Done":
+		return true
+	}
+	return false
+}

@@ -3,12 +3,14 @@ package analyzers
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -34,10 +36,32 @@ type Loader struct {
 	Root string
 	// Module is the module path declared in go.mod.
 	Module string
+	// IncludeTests also parses and type-checks in-package _test.go files
+	// (tianhelint -tests), so test helpers face the same clock/rand
+	// contract as shipped code. External test packages (package foo_test)
+	// are still skipped: they are a second package in the same directory
+	// and never leak into the shipped build. Set before the first load.
+	IncludeTests bool
 
 	fset *token.FileSet
 	std  types.ImporterFrom
 	pkgs map[string]*Package // by import path; nil marks in-progress
+	aux  []auxModule         // extra import-path prefixes (fixture modules)
+}
+
+// auxModule maps an import-path prefix outside the main module onto a
+// directory tree — how multi-package test fixtures give their packages
+// stable import paths without a second go.mod.
+type auxModule struct {
+	prefix string
+	dir    string
+}
+
+// AddModule registers an auxiliary module: imports of prefix or
+// prefix/<rel> resolve to dir/<rel>. Fixture harnesses use this to load
+// importer chains under testdata/src.
+func (l *Loader) AddModule(prefix, dir string) {
+	l.aux = append(l.aux, auxModule{prefix, dir})
 }
 
 // NewLoader builds a loader for the module rooted at root, reading the
@@ -106,10 +130,22 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 }
 
 // ImportFrom implements types.ImporterFrom: module-internal paths load from
-// the module tree, everything else from the standard library.
+// the module tree, auxiliary-module paths from their registered roots,
+// everything else from the standard library.
 func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
 	if rel, ok := l.moduleRel(path); ok {
 		pkg, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	for _, m := range l.aux {
+		rel, ok := pathRel(m.prefix, path)
+		if !ok {
+			continue
+		}
+		pkg, err := l.LoadDir(filepath.Join(m.dir, filepath.FromSlash(rel)), path)
 		if err != nil {
 			return nil, err
 		}
@@ -121,10 +157,15 @@ func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Packag
 // moduleRel returns the module-root-relative slash path of an import path
 // inside the module ("" for the root package itself).
 func (l *Loader) moduleRel(path string) (string, bool) {
-	if path == l.Module {
+	return pathRel(l.Module, path)
+}
+
+// pathRel returns path relative to the import-path prefix, when under it.
+func pathRel(prefix, path string) (string, bool) {
+	if path == prefix {
 		return "", true
 	}
-	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+	if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
 		return rest, true
 	}
 	return "", false
@@ -173,7 +214,11 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses every buildable non-test .go file in dir.
+// parseDir parses every buildable .go file in dir: the non-test sources
+// always, plus — when IncludeTests is set — the in-package _test.go files.
+// External test packages (package name ending in _test) are dropped after
+// parsing: they form a second package in the directory and stay outside
+// the lint surface.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -183,7 +228,7 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") ||
+			(!l.IncludeTests && strings.HasSuffix(name, "_test.go")) ||
 			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
@@ -196,9 +241,40 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if strings.HasSuffix(name, "_test.go") && strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if !buildableFile(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildableFile evaluates a file's //go:build constraint (if any) against
+// the default build the lint analyzes: current GOOS/GOARCH, no extra tags.
+// Without this, tag-disjoint pairs like race_on_test.go/race_off_test.go
+// would collide when -tests loads a directory.
+func buildableFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+	}
+	return true
 }
 
 // LoadAll loads every package in the module tree, skipping testdata

@@ -1,0 +1,258 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports cycles in the module's acquired-while-held graph.
+// Every mutex is classified by where it lives (a struct field or a
+// package-level variable); whenever one lock class can be acquired while
+// another is held — directly in one function body, or through any chain of
+// calls resolved by the call graph — the graph gains an edge. A cycle in
+// that graph means two goroutines can block on each other's locks in
+// opposite orders: the classic deadlock the serve dispatcher/batcher/queue
+// and the telemetry registry mutexes must never form.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "report cycles in the acquired-while-held lock graph: if lock A is " +
+		"ever held while B is acquired (directly or through calls) and B while " +
+		"A, concurrent lockers can deadlock; keep a single global lock order",
+	Run: runLockOrder,
+}
+
+// lockEdge is one acquired-while-held observation: To was acquired while
+// From was held, at Pos inside Fn.
+type lockEdge struct {
+	From, To string
+	Pos      token.Position
+	Fn       string
+}
+
+// lockCycle is one strongly connected component of the lock graph with a
+// cycle, plus the edges inside it that witness the ordering conflict.
+type lockCycle struct {
+	// Classes are the lock classes on the cycle, sorted.
+	Classes []string
+	// Edges are the witness edges between cycle classes, ordered by
+	// position.
+	Edges []lockEdge
+}
+
+// computeLockCycles builds the module's acquired-while-held graph and
+// extracts its cycles. Runs once in BuildModule; passes only read the
+// result.
+func computeLockCycles(fset *token.FileSet, g *callGraph, facts *FactStore) []lockCycle {
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(from, to string, pos token.Pos, fn *FuncNode) {
+		if from == to {
+			// Same class twice is usually two different instances (e.g. a
+			// tracer merging another tracer); instance-level analysis would
+			// be needed to call it a deadlock, so the graph stays
+			// class-granular and skips self-edges.
+			return
+		}
+		k := [2]string{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from, to, fset.Position(pos), fn.Display()}
+		}
+	}
+
+	for _, node := range g.nodes {
+		var held []string
+		for _, op := range node.lockOps {
+			switch op.Kind {
+			case lockAcquire:
+				for _, h := range held {
+					addEdge(h, op.Class, op.Pos, node)
+				}
+				held = append(held, op.Class)
+			case lockRelease:
+				if op.Deferred {
+					continue // applies at return; the lock stays held below
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == op.Class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case lockCall:
+				if len(held) == 0 {
+					continue
+				}
+				cf := facts.FuncFacts(op.Callee.Pkg.Path, op.Callee.Name)
+				if cf == nil {
+					continue
+				}
+				for _, to := range sortedClassNames(cf.Locks) {
+					for _, h := range held {
+						addEdge(h, to, op.Pos, node)
+					}
+				}
+			}
+		}
+	}
+
+	// Condense to strongly connected components; any component holding two
+	// classes (self-edges were excluded) is an ordering cycle.
+	adj := make(map[string][]string)
+	nodesSet := make(map[string]bool)
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodesSet[k[0]] = true
+		nodesSet[k[1]] = true
+	}
+	classes := sortedClassNames(nodesSet)
+
+	var cycles []lockCycle
+	for _, comp := range stronglyConnected(classes, adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		sort.Strings(comp)
+		inComp := make(map[string]bool, len(comp))
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		var witness []lockEdge
+		for _, k := range keys {
+			if inComp[k[0]] && inComp[k[1]] {
+				witness = append(witness, edges[k])
+			}
+		}
+		sort.Slice(witness, func(i, j int) bool {
+			a, b := witness[i].Pos, witness[j].Pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Column < b.Column
+		})
+		cycles = append(cycles, lockCycle{Classes: comp, Edges: witness})
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return strings.Join(cycles[i].Classes, ",") < strings.Join(cycles[j].Classes, ",")
+	})
+	return cycles
+}
+
+// stronglyConnected returns the SCCs of the directed graph (iterative
+// Tarjan). Nodes are visited in the given order, so components come back
+// deterministically.
+func stronglyConnected(nodes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		v    string
+		edge int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{root, 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.edge < len(adj[f.v]) {
+				w := adj[f.v][f.edge]
+				f.edge++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+func runLockOrder(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	// Each cycle is reported once, anchored at its first witness edge; the
+	// pass whose package owns that file does the reporting, so -par runs
+	// emit every cycle exactly once.
+	for _, cyc := range pass.Mod.lockCycles {
+		if len(cyc.Edges) == 0 {
+			continue
+		}
+		anchor := cyc.Edges[0]
+		if !posInPackage(pass, anchor.Pos) {
+			continue
+		}
+		why := make([]string, 0, len(cyc.Edges))
+		for _, e := range cyc.Edges {
+			why = append(why, fmt.Sprintf("%s acquires %s while holding %s at %s:%d:%d",
+				e.Fn, e.To, e.From, e.Pos.Filename, e.Pos.Line, e.Pos.Column))
+		}
+		pass.reportAt(anchor.Pos, why,
+			"lock-order cycle among %s: %s acquires %s while holding %s, and the reverse order is also reachable — concurrent lockers can deadlock (run tianhelint -why for every edge)",
+			strings.Join(cyc.Classes, ", "), anchor.Fn, anchor.To, anchor.From)
+	}
+}
+
+// posInPackage reports whether the position lies in one of the pass
+// package's files.
+func posInPackage(pass *Pass, pos token.Position) bool {
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename == pos.Filename {
+			return true
+		}
+	}
+	return false
+}

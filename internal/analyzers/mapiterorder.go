@@ -23,6 +23,9 @@ var MapIterOrder = &Analyzer{
 
 func runMapIterOrder(pass *Pass) {
 	for _, f := range pass.Files {
+		if pass.skipFile(f) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
 			switch fn := n.(type) {

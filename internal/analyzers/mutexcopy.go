@@ -21,6 +21,9 @@ var MutexCopy = &Analyzer{
 
 func runMutexCopy(pass *Pass) {
 	for _, f := range pass.Files {
+		if pass.skipFile(f) {
+			continue
+		}
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok {

@@ -32,6 +32,9 @@ type nilContract struct {
 
 func (c *nilContract) run(pass *Pass) {
 	for _, f := range pass.Files {
+		if pass.skipFile(f) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			var ftype *ast.FuncType
 			var body *ast.BlockStmt

@@ -14,6 +14,9 @@ var NoGlobalRand = &Analyzer{
 		"randomness must come from sim.NewStream(seed, name) so streams stay " +
 		"independent and every experiment regenerates from its seed",
 	Run: runNoGlobalRand,
+	// A test seeding math/rand silently breaks replay of the case it
+	// drives: under -tests the check applies inside _test.go files too.
+	Tests: true,
 }
 
 var randPaths = map[string]bool{
@@ -23,7 +26,7 @@ var randPaths = map[string]bool{
 
 func runNoGlobalRand(pass *Pass) {
 	for _, f := range pass.Files {
-		if isTestFile(pass.Fset, f.Pos()) {
+		if pass.skipFile(f) {
 			continue
 		}
 		// Blank and dot imports never show up as qualified uses; flag the

@@ -26,11 +26,14 @@ var NoWallTime = &Analyzer{
 		"files: every timestamp and delay in the simulator must flow through " +
 		"the virtual sim.Clock so runs regenerate bit-identically on any host",
 	Run: runNoWallTime,
+	// Test helpers measuring "how long" belong on the virtual clock too:
+	// under -tests the check applies inside _test.go files as well.
+	Tests: true,
 }
 
 func runNoWallTime(pass *Pass) {
 	for _, f := range pass.Files {
-		if isTestFile(pass.Fset, f.Pos()) {
+		if pass.skipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

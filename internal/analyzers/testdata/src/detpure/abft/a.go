@@ -1,0 +1,31 @@
+// Package abft carries the strictest fixture contract (Pure +
+// NoGlobalWrites) and reproduces the direct-violation shapes the retired
+// abftpure analyzer caught one package at a time.
+package abft
+
+import (
+	"math/rand"
+	"time"
+)
+
+var total int
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall clock leaks into deterministic-core package abft: abft.Stamp calls time.Now"
+}
+
+func Perturb(x float64) float64 {
+	return x + rand.NormFloat64() // want "ambient randomness leaks into deterministic-core package abft: abft.Perturb calls math/rand.NormFloat64"
+}
+
+func Count(n int) {
+	total += n // want "write to package-level variable total in package abft"
+}
+
+func Fold(xs []int) int {
+	acc := 0
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}

@@ -1,0 +1,40 @@
+// Package core is the deterministic-core package of the detpure chain
+// fixture. It never touches a nondeterminism source directly — every leak
+// arrives through mid, two hops from the source in leaf, or dynamically
+// through an interface implemented in impl. The old per-package purity
+// analyzers were structurally unable to see any of these.
+package core
+
+import (
+	"tianhelint.test/detpure/leaf"
+	"tianhelint.test/detpure/mid"
+)
+
+var boot = leaf.Stamp() // want "wall clock leaks into deterministic-core package core: core.init reaches time.Now through leaf.Stamp"
+
+func Rate(x float64) float64 {
+	return mid.Normalize(x) // want "wall clock leaks into deterministic-core package core: core.Rate reaches time.Now through mid.Normalize"
+}
+
+func Jitter(x float64) float64 {
+	return mid.Shuffle(x) // want "ambient randomness leaks into deterministic-core package core: core.Jitter reaches math/rand.Float64 through mid.Shuffle"
+}
+
+func Label(s string) string {
+	return mid.Tag(s) // want "host environment leaks into deterministic-core package core: core.Label reaches os.Getenv through mid.Tag"
+}
+
+// Ticker is implemented (only) by impl.Clock, whose Tick reads the wall
+// clock through leaf; the method-set over-approximation must charge a call
+// through the interface with that taint.
+type Ticker interface {
+	Tick() float64
+}
+
+func Sample(t Ticker) float64 {
+	return t.Tick() // want "wall clock leaks into deterministic-core package core: core.Sample reaches time.Now through impl..Clock..Tick"
+}
+
+func CleanChain(x float64) float64 {
+	return mid.Clean(x)
+}

@@ -1,0 +1,12 @@
+// Package impl provides the concrete Ticker the core fixture calls
+// through an interface: the dynamic-dispatch over-approximation links
+// core.Sample to Clock.Tick by method set, not by any static call.
+package impl
+
+import "tianhelint.test/detpure/leaf"
+
+type Clock struct{}
+
+func (Clock) Tick() float64 {
+	return leaf.Stamp()
+}

@@ -1,0 +1,24 @@
+// Package leaf is the impure end of the detpure importer-chain fixture: it
+// reads the wall clock, ambient randomness, and the host environment
+// directly. The fixture's contract table declares no contract for leaf, so
+// detpure never reports here — the leaks are charged to the contract
+// packages that (transitively) reach them.
+package leaf
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+func Roll() float64 {
+	return rand.Float64()
+}
+
+func Host() string {
+	return os.Getenv("HOSTNAME")
+}

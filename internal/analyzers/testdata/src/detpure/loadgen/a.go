@@ -1,0 +1,22 @@
+// Package loadgen is contracted Pure + NoGlobalWrites and exercises two
+// shapes: a wall-clock source reached through a time helper, and a write
+// to another package's exported variable through a qualified selector.
+package loadgen
+
+import (
+	"time"
+
+	"tianhelint.test/detpure/serve"
+)
+
+func Throttle() {
+	time.Sleep(time.Millisecond) // want "wall clock leaks into deterministic-core package loadgen: loadgen.Throttle calls time.Sleep"
+}
+
+func Poke() {
+	serve.Mode = "burst" // want "write to package-level variable Mode in package loadgen"
+}
+
+func Interarrival(rate float64) float64 {
+	return 1.0 / rate
+}

@@ -1,0 +1,23 @@
+// Package mid is the middle hop of the detpure chain fixture: it calls
+// leaf but carries no contract itself, so nothing is reported here. A
+// per-package analyzer looking at core alone could never see through this
+// package — that is exactly the leak the interprocedural check exists for.
+package mid
+
+import "tianhelint.test/detpure/leaf"
+
+func Normalize(x float64) float64 {
+	return x / leaf.Stamp()
+}
+
+func Shuffle(x float64) float64 {
+	return x * leaf.Roll()
+}
+
+func Tag(s string) string {
+	return s + leaf.Host()
+}
+
+func Clean(x float64) float64 {
+	return x * 0.5
+}

@@ -1,0 +1,23 @@
+// Package serve reproduces the shapes the retired servepure analyzer
+// caught: host-environment reads and package-level state in a package
+// contracted Pure + NoGlobalWrites. Mode exists to be written from the
+// loadgen fixture — cross-package writes are charged to the writer.
+package serve
+
+import "os"
+
+var Mode string
+
+var requests int
+
+func Env() string {
+	return os.Getenv("PORT") // want "host environment leaks into deterministic-core package serve: serve.Env calls os.Getenv"
+}
+
+func Track() {
+	requests++ // want "write to package-level variable requests in package serve"
+}
+
+func Admit(queued, limit int) bool {
+	return queued < limit
+}

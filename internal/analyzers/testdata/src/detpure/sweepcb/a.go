@@ -1,0 +1,50 @@
+// Package sweepcb reproduces the retired sweeppure shapes — a sweep
+// callback writing package-level state directly — plus the two shapes the
+// old analyzer provably missed: a callback reaching the write through a
+// helper call, and a named function passed as the callback. The package
+// carries no contract; the sweep-callback rule applies everywhere.
+package sweepcb
+
+import (
+	"context"
+
+	"tianhe/internal/sweep"
+)
+
+var hits int
+
+var last float64
+
+func Run(pts []float64) []float64 {
+	return sweep.Map(context.Background(), 4, pts, func(i int, p float64) float64 {
+		hits++ // want "sweep.Map callback writes package-level variable hits: points may run concurrently"
+		return p * 2
+	})
+}
+
+func RunHelper(pts []float64) []float64 {
+	return sweep.Map(context.Background(), 4, pts, func(i int, p float64) float64 {
+		return bump(p) // want "sweep.Map callback calls sweepcb.bump, which writes package-level variable hits: points may run concurrently"
+	})
+}
+
+func bump(p float64) float64 {
+	hits++
+	return p
+}
+
+func RunNamed(pts []float64) []float64 {
+	return sweep.Map(context.Background(), 4, pts, record) // want "sweep.Map callback sweepcb.record, which writes package-level variable last: points may run concurrently"
+}
+
+func record(i int, p float64) float64 {
+	last = p
+	return p
+}
+
+func RunClean(pts []float64) []float64 {
+	return sweep.Map(context.Background(), 4, pts, func(i int, p float64) float64 {
+		local := p * 2
+		return local
+	})
+}

@@ -1,0 +1,62 @@
+// Fixture for goroleak: every `go` statement in a library package needs a
+// provable termination path — directly in a literal body, or through the
+// summary of the named function it spawns.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func SpinLit() {
+	go func() { // want "goroutine spawned by goroleak.SpinLit has no provable termination path"
+		for {
+		}
+	}()
+}
+
+func WaitGroupOK(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func ChanOK(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func CtxOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func NamedOK(ch chan int) {
+	go drain(ch)
+}
+
+// drain terminates two hops away: the signal lives in pump, reached
+// through drain's summary.
+func drain(ch chan int) {
+	pump(ch)
+}
+
+func pump(ch chan int) {
+	<-ch
+}
+
+func NamedLeak() {
+	go spin() // want "goroutine goroleak.spin spawned by goroleak.NamedLeak has no provable termination path"
+}
+
+func spin() {
+	for {
+	}
+}
+
+func FuncValue(f func()) {
+	go f() // want "goroutine spawned by goroleak.FuncValue through a function value cannot be proven to terminate"
+}

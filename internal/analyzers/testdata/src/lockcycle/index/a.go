@@ -1,0 +1,28 @@
+// Package index closes the fixture's lock cycle: Rebuild acquires the
+// index lock and calls store.Len, which acquires the store lock — the
+// reverse of the order Put establishes. The cycle's first witness edge
+// (by position) is in this file, so the finding is anchored here.
+package index
+
+import (
+	"sync"
+
+	"tianhelint.test/lockcycle/store"
+)
+
+type Index struct {
+	mu   sync.Mutex
+	size int
+}
+
+func (ix *Index) Note() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.size++
+}
+
+func (ix *Index) Rebuild(s *store.Store) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.size = s.Len() // want "lock-order cycle among index.Index.mu, store.Store.mu: index...Index..Rebuild acquires store.Store.mu while holding index.Index.mu"
+}

@@ -1,0 +1,29 @@
+// Package store is half of the lock-cycle fixture: Put acquires the store
+// lock and then calls out through the Noter interface, whose only module
+// implementation locks the index — so the edge store.Store.mu ->
+// index.Index.mu exists only via dynamic dispatch.
+package store
+
+import "sync"
+
+type Noter interface {
+	Note()
+}
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) Put(n Noter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	n.Note()
+}
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

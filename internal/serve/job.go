@@ -14,8 +14,9 @@
 // bit-identical results on any machine and under any -par. Wall-clock time
 // exists only at the serving edge, in cmd/tianhed, which maps real arrival
 // instants onto the virtual timeline before entering this package. The
-// servepure analyzer in cmd/tianhelint enforces the boundary statically:
-// package serve must not import wall-clock time or ambient randomness.
+// detpure contract on this package enforces the boundary statically and
+// transitively: serve must not reach wall-clock time or ambient randomness
+// through any call chain, nor write package-level state.
 package serve
 
 import (

@@ -19,8 +19,9 @@
 //     through (no child bundles, no merge), and no goroutine is spawned.
 //
 // Callbacks must not write package-level mutable state — every run of a
-// sweep may interleave with every other. The sweeppure analyzer in
-// cmd/tianhelint enforces this statically.
+// sweep may interleave with every other. The detpure analyzer in
+// cmd/tianhelint enforces this statically, including writes reached
+// through helpers the callback calls.
 package sweep
 
 import (

@@ -9,7 +9,9 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go run ./cmd/tianhelint
+# -tests also lints _test.go files with the clock/rand contract; -par runs
+# the per-package passes concurrently (findings identical at any setting).
+go run ./cmd/tianhelint -tests -par 8
 
 # The race detector needs cgo; fall back to plain tests on toolchains
 # without it (CGO_ENABLED=0 or no C compiler) so check works everywhere.
