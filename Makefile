@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench faultgolden parbench servebench
+.PHONY: check build test vet lint fuzz bench faultgolden graphgolden parbench servebench
 
 check:
 	./scripts/check.sh
@@ -32,6 +32,15 @@ test:
 faultgolden:
 	go test -run 'TestHealthyScenarioHasZeroHookOverhead|TestLostGPUAcceptance' -v ./cmd/faultbench
 
+# graphgolden regenerates the canonical dataflow schedules (graph-LU with
+# look-ahead 1 and the 3-D stencil sweep) and diffs them against the
+# committed goldens in cmd/graphtrace/testdata — any placement, ordering,
+# or booked-time drift in the taskgraph scheduler fails the diff. Regenerate
+# deliberately with `go test ./cmd/graphtrace -update`.
+graphgolden:
+	go run ./cmd/graphtrace -workload lu -golden | diff cmd/graphtrace/testdata/lu.golden -
+	go run ./cmd/graphtrace -workload stencil -golden | diff cmd/graphtrace/testdata/stencil.golden -
+
 # fuzz gives each native fuzz target a short fixed budget on top of its
 # checked-in seed corpus. New crashers land in testdata/fuzz/ — commit them.
 fuzz:
@@ -39,6 +48,7 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzScheduleInvariants$$' -fuzztime 10s ./internal/pipeline
 	go test -run '^$$' -fuzz '^FuzzChecksumCodec$$' -fuzztime 10s ./internal/abft
 	go test -run '^$$' -fuzz '^FuzzJobCodec$$' -fuzztime 10s ./internal/serve
+	go test -run '^$$' -fuzz '^FuzzGraphSchedule$$' -fuzztime 10s ./internal/taskgraph
 
 bench:
 	go test -run xxx -bench . -benchtime 10x .

@@ -57,6 +57,7 @@ func DefaultContracts() ContractTable {
 			"tianhe/internal/serve":         {Pure: true, NoGlobalWrites: true, Why: "admission and batching must replay bit-identically from (seed, config)"},
 			"tianhe/internal/serve/loadgen": {Pure: true, NoGlobalWrites: true, Why: "generated arrivals must replay bit-identically from the seed"},
 			"tianhe/internal/sweep":         {Pure: true, NoGlobalWrites: true, Why: "the parallel runner itself must not carry cross-point state"},
+			"tianhe/internal/taskgraph":     {Pure: true, NoGlobalWrites: true, Why: "graph placement and execution must replay bit-identically from (graph, seed)"},
 		},
 	}
 }

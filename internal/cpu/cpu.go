@@ -156,3 +156,18 @@ func (k *Core) book(m, n, kk int, commActive bool, earliest sim.Time) sim.Span {
 func (k *Core) Seconds(m, n, kk int, commActive bool) float64 {
 	return k.Model.Seconds(m, n, kk, commActive)
 }
+
+// Work books an arbitrary host task of the given model duration on the core,
+// applying the same per-call jitter and fault throttle as DGEMM slices — the
+// seam the task-graph runtime runs CPU codelets through.
+func (k *Core) Work(label string, seconds float64, earliest sim.Time) sim.Span {
+	dur := seconds * k.jitter.LogNormalFactor(k.sigma)
+	if k.throttle != nil {
+		f := k.throttle(k.index, earliest)
+		if f <= 0 || f > 1 {
+			panic(fmt.Sprintf("cpu: throttle factor %v for core %d outside (0, 1]", f, k.index))
+		}
+		dur /= f
+	}
+	return k.TL.Book(label, earliest, dur)
+}

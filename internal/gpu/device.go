@@ -341,6 +341,23 @@ func (d *Device) GemmVirtual(m, n, k int, deps ...sim.Span) sim.Span {
 	return d.Queue.BookAfter("gemm", d.kernelSeconds(m, n, k, deps), deps...)
 }
 
+// Kernel books an arbitrary kernel of the given model duration on the
+// command queue after its dependencies, applying the health kernel factor at
+// the submission time — the seam the task-graph runtime launches non-GEMM
+// codelets through.
+func (d *Device) Kernel(label string, seconds float64, deps ...sim.Span) sim.Span {
+	if d.health != nil {
+		var earliest sim.Time
+		for _, dep := range deps {
+			if dep.End > earliest {
+				earliest = dep.End
+			}
+		}
+		seconds /= d.kernelFactor(earliest)
+	}
+	return d.Queue.BookAfter(label, seconds, deps...)
+}
+
 // kernelSeconds applies the health kernel factor to a model duration, using
 // the latest dependency end as the submission time.
 func (d *Device) kernelSeconds(m, n, k int, deps []sim.Span) float64 {

@@ -24,6 +24,14 @@ type Checkpoint struct {
 	DatabaseG  json.RawMessage `json:"database_g,omitempty"`
 	CSplits    []float64       `json:"csplits,omitempty"`
 
+	// Graph-mode state (Config.Graph): whether the next panel already ran
+	// inside the checkpointed iteration's graph, the affinity database the
+	// scheduler blends placements with, and the ABFT task counter that keys
+	// the SDC injector's per-task streams.
+	PanelAhead bool            `json:"panel_ahead,omitempty"`
+	Rates      json.RawMessage `json:"rates,omitempty"`
+	TaskSeq    int             `json:"task_seq,omitempty"`
+
 	// Sum seals the restartable fields above (FNV-1a over their canonical
 	// byte form): a checkpoint corrupted at rest — the same silent-data-
 	// corruption class ABFT guards against in flight — fails Verify and is
@@ -51,6 +59,15 @@ func (s *Sim) Checkpoint() *Checkpoint {
 		}
 		cp.DatabaseG = blob
 		cp.CSplits = ad.C.Splits()
+	}
+	if s.gsched != nil {
+		blob, err := json.Marshal(s.gsched.Rates())
+		if err != nil {
+			panic(fmt.Sprintf("linpacksim: serializing affinity rates: %v", err))
+		}
+		cp.PanelAhead = s.panelAhead
+		cp.Rates = blob
+		cp.TaskSeq = s.gsched.TaskSeq()
 	}
 	cp.Sum = cp.checksum()
 	return cp
@@ -80,6 +97,17 @@ func (cp *Checkpoint) checksum() uint64 {
 	for _, f := range cp.CSplits {
 		word(math.Float64bits(f))
 	}
+	if cp.PanelAhead {
+		word(1)
+	} else {
+		word(0)
+	}
+	word(uint64(len(cp.Rates)))
+	for _, b := range cp.Rates {
+		h ^= uint64(b)
+		h *= prime
+	}
+	word(uint64(cp.TaskSeq))
 	return h
 }
 
@@ -117,6 +145,15 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 			return fmt.Errorf("linpacksim: restoring database_g: %w", err)
 		}
 		ad.C.Restore(cp.CSplits)
+	}
+	if s.gsched != nil {
+		if cp.Rates != nil {
+			if err := json.Unmarshal(cp.Rates, s.gsched.Rates()); err != nil {
+				return fmt.Errorf("linpacksim: restoring affinity rates: %w", err)
+			}
+		}
+		s.panelAhead = cp.PanelAhead
+		s.gsched.SetTaskSeq(cp.TaskSeq)
 	}
 	s.j, s.iters, s.t = cp.J, cp.Iterations, cp.T
 	// Telemetry booked by the lost iterations is rolled back to the

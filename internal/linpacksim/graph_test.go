@@ -1,0 +1,138 @@
+package linpacksim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+)
+
+func graphConfig(lookahead int) Config {
+	return Config{N: 4864, NB: 1216, Variant: element.ACMLGBoth, Seed: 2009,
+		Graph: true, Lookahead: lookahead}
+}
+
+func TestGraphModeDeterministic(t *testing.T) {
+	cfg := graphConfig(1)
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Seconds != b.Seconds || a.GFLOPS != b.GFLOPS || a.Iterations != b.Iterations {
+		t.Fatalf("graph runs diverged: %v/%v/%d vs %v/%v/%d",
+			a.Seconds, a.GFLOPS, a.Iterations, b.Seconds, b.GFLOPS, b.Iterations)
+	}
+	if a.Seconds <= 0 || a.GFLOPS <= 0 {
+		t.Fatalf("degenerate graph run: %+v", a)
+	}
+}
+
+// TestGraphCheckpointRoundTripBitForBit extends the checkpoint guarantee to
+// graph mode: the affinity database, the look-ahead panel state and the ABFT
+// task counter must all round-trip through the serialized checkpoint.
+func TestGraphCheckpointRoundTripBitForBit(t *testing.T) {
+	for _, v := range []element.Variant{element.ACMLGBoth, element.CPUOnly} {
+		cfg := ckptConfig(v)
+		cfg.Graph = true
+		cfg.Lookahead = 1
+		ref := Run(cfg)
+
+		s := NewSim(cfg)
+		s.Step()
+		s.Step()
+		cp := s.Checkpoint()
+		blob, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loaded Checkpoint
+		if err := json.Unmarshal(blob, &loaded); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(&loaded); err != nil {
+			t.Fatal(err)
+		}
+		for !s.Done() {
+			s.Step()
+		}
+		got := s.Result()
+		if got.Seconds != ref.Seconds || got.GFLOPS != ref.GFLOPS {
+			t.Fatalf("%v: round-tripped graph run %v s / %v GFLOPS, uninterrupted %v s / %v GFLOPS",
+				v, got.Seconds, got.GFLOPS, ref.Seconds, ref.GFLOPS)
+		}
+	}
+}
+
+// TestGraphLookaheadBeatsBulkSynchronous is the look-ahead acceptance at the
+// paper's Fig-8 problem size: expressing the next panel as a dataflow task
+// that overlaps the trailing update must beat booking it bulk-synchronously.
+func TestGraphLookaheadBeatsBulkSynchronous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig-8 scale run")
+	}
+	depth0 := Run(Config{N: 46000, NB: 1216, Variant: element.ACMLGBoth, Seed: 7,
+		Graph: true, Lookahead: 0})
+	depth1 := Run(Config{N: 46000, NB: 1216, Variant: element.ACMLGBoth, Seed: 7,
+		Graph: true, Lookahead: 1})
+	if depth1.GFLOPS <= depth0.GFLOPS {
+		t.Fatalf("look-ahead 1 reached %v GFLOPS, not above depth 0's %v", depth1.GFLOPS, depth0.GFLOPS)
+	}
+	// The gain must be measurable, not noise: every early panel (~3.7 virtual
+	// seconds of host work) comes off the critical path.
+	if gain := depth1.GFLOPS / depth0.GFLOPS; gain < 1.01 {
+		t.Fatalf("look-ahead gain %.4fx below the 1%% acceptance floor", gain)
+	}
+}
+
+// TestGraphModeSDCRecovery runs the graph path through the sdc-single and
+// sdc-burst scenarios: detection stays total (every delivered strike is
+// caught at a task drain), localizable strikes recompute in place, and
+// escalations drain through the existing checkpoint-restore machinery.
+func TestGraphModeSDCRecovery(t *testing.T) {
+	for _, scen := range []string{"sdc-single", "sdc-burst"} {
+		cfg := Config{N: 9728, NB: 1216, Variant: element.ACMLGBoth, Seed: 47,
+			Graph: true, Lookahead: 1, Checkpoint: true}
+		horizon := healthyHorizon(cfg)
+		in, err := fault.NewScenario(scen, horizon, 47)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.SDC = in
+		res := Run(cfg)
+		if res.SDCDetected == 0 {
+			t.Fatalf("%s: delivered no strikes at N=%d", scen, cfg.N)
+		}
+		if got := in.SDCDelivered(); got != int64(res.SDCDetected) {
+			t.Fatalf("%s: injector delivered %d strikes, run detected %d — detection must be total",
+				scen, got, res.SDCDetected)
+		}
+		if res.SDCCorrected+res.SDCEscalated != res.SDCDetected {
+			t.Fatalf("%s: outcome counts inconsistent: %+v", scen, res)
+		}
+		if scen == "sdc-burst" && res.SDCRestores == 0 {
+			t.Fatalf("sdc-burst: escalations never forced a checkpoint restore: %+v", res)
+		}
+	}
+}
+
+// TestGraphModeLostGPURecovers runs the graph path through a GPU context
+// loss: the adaptive scheduler falls back to the CPU cores during the outage
+// and returns to the GPU after recovery, finishing slower than healthy but
+// finishing.
+func TestGraphModeLostGPURecovers(t *testing.T) {
+	cfg := graphConfig(1)
+	healthy := Run(cfg)
+
+	in, err := fault.NewScenario("lost-gpu", healthy.Seconds, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	struck := cfg
+	struck.SDC = in
+	res := Run(struck)
+	if res.Seconds <= healthy.Seconds {
+		t.Fatalf("outage run %v s not slower than healthy %v s", res.Seconds, healthy.Seconds)
+	}
+	if res.Iterations < healthy.Iterations {
+		t.Fatalf("outage run finished only %d of %d iterations", res.Iterations, healthy.Iterations)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"tianhe/internal/hybrid"
 	"tianhe/internal/perfmodel"
 	"tianhe/internal/sim"
+	"tianhe/internal/taskgraph"
 	"tianhe/internal/telemetry"
 )
 
@@ -85,6 +86,22 @@ type Config struct {
 	// timing events (degraded-gpu, flaky-net layers of a composed scenario)
 	// are attached to the element too. Nil injects nothing.
 	SDC *fault.Injector
+
+	// Graph routes every iteration through the taskgraph runtime instead of
+	// the hybrid runner's partitioner split: the trailing update becomes a
+	// tile grid of lu.gemm tasks placed per task by the affinity scheduler,
+	// the U12 solve a row of lu.trsm tasks, and the panel factorization an
+	// lu.panel task overlapping the update when Lookahead permits. The
+	// affinity database and the ABFT task counter persist across iterations
+	// (and across checkpoint restores), so the per-iteration graphs behave
+	// like one long adaptive run.
+	Graph bool
+	// Lookahead is the graph mode's cross-iteration overlap depth: 0 books
+	// the next panel bulk-synchronously after the full trailing update, >= 1
+	// lets it overlap this iteration's update as soon as its own column is
+	// up to date — HPL's classic look-ahead, here emerging from dataflow
+	// dependencies instead of hand-rolled slot management.
+	Lookahead int
 }
 
 // Result reports one simulated run.
@@ -166,6 +183,13 @@ type Sim struct {
 	verifySeconds float64
 	lastEscalated bool
 	integrity     *telemetry.Gauge // per-iteration integrity flag, lazy
+
+	// Graph-mode state (Config.Graph): the scheduler carries the affinity
+	// database and the ABFT task counter across iterations; panelAhead marks
+	// that the next iteration's panel already ran inside the previous
+	// iteration's graph (look-ahead), so the next Step must not rebook it.
+	gsched     *taskgraph.Scheduler
+	panelAhead bool
 }
 
 // NewSim builds the element, partitioner and runner for one run, positioned
@@ -207,10 +231,22 @@ func NewSim(cfg Config) *Sim {
 	if cfg.Verify || cfg.SDC != nil {
 		// The injector's timing events (composed scenarios layer SDC onto
 		// degraded-gpu and the like) hook the element; the corruption
-		// strikes flow through the runner's ABFT verification.
+		// strikes flow through the runner's ABFT verification — or the
+		// graph scheduler's, in graph mode.
 		fault.Attach(cfg.SDC, el)
-		runner.EnableABFT(cfg.SDC)
+		if !cfg.Graph {
+			runner.EnableABFT(cfg.SDC)
+		}
 		s.abftOn = true
+	}
+	if cfg.Graph {
+		s.gsched = taskgraph.NewScheduler(el, taskgraph.Options{
+			Telemetry:      cfg.Telemetry,
+			Verify:         s.abftOn,
+			SDC:            cfg.SDC,
+			GPUFallback:    cfg.Variant.Adaptive(),
+			RewarmHalfLife: 8,
+		})
 	}
 	return s
 }
@@ -237,6 +273,14 @@ func (s *Sim) Step() {
 	jb := min(s.nb, s.cfg.N-j)
 	trailing := s.cfg.N - j - jb
 	s.iters++
+	s.lastEscalated = false
+
+	if s.cfg.Graph {
+		s.stepGraph(j, jb, trailing)
+		s.j = j + jb
+		s.lastJB = jb
+		return
+	}
 
 	// Panel factorization of the (trailing+jb) x jb panel plus the U12
 	// triangular solve, both on the host. With look-ahead they overlap
@@ -246,35 +290,151 @@ func (s *Sim) Step() {
 	trsmFlops := float64(jb) * float64(jb) * float64(trailing)
 	hostSide := s.t + panelFlops/(PanelRateGFLOPS*1e9) + trsmFlops/(TrsmRateGFLOPS*1e9)
 
-	s.lastEscalated = false
 	if trailing > 0 {
 		rep := s.runner.GemmVirtual(trailing, trailing, jb, 1, s.t)
 		s.t = rep.End
-		if s.abftOn {
-			s.sdcDetected += rep.SDCDetected
-			s.sdcCorrected += rep.SDCCorrected
-			s.sdcEscalated += rep.SDCEscalated
-			s.verifySeconds += rep.VerifySeconds
-			s.lastEscalated = rep.SDCEscalated > 0
-			if s.cfg.Telemetry.Enabled() {
-				if s.integrity == nil {
-					s.integrity = s.cfg.Telemetry.Gauge("linpacksim.integrity")
-				}
-				// 1 = the iteration's output is trustworthy (clean, or every
-				// strike recomputed away); 0 = poisoned pending a restore.
-				if s.lastEscalated {
-					s.integrity.Set(0)
-				} else {
-					s.integrity.Set(1)
-				}
-			}
-		}
+		s.noteABFT(rep.SDCDetected, rep.SDCCorrected, rep.SDCEscalated, rep.VerifySeconds)
 	}
 	if hostSide > s.t {
 		s.t = hostSide
 	}
 	s.j = j + jb
 	s.lastJB = jb
+}
+
+// noteABFT folds one iteration's ABFT outcome into the run totals and the
+// integrity gauge.
+func (s *Sim) noteABFT(detected, corrected, escalated int, verifySeconds float64) {
+	if !s.abftOn {
+		return
+	}
+	s.sdcDetected += detected
+	s.sdcCorrected += corrected
+	s.sdcEscalated += escalated
+	s.verifySeconds += verifySeconds
+	s.lastEscalated = escalated > 0
+	if s.cfg.Telemetry.Enabled() {
+		if s.integrity == nil {
+			s.integrity = s.cfg.Telemetry.Gauge("linpacksim.integrity")
+		}
+		// 1 = the iteration's output is trustworthy (clean, or every
+		// strike recomputed away); 0 = poisoned pending a restore.
+		if s.lastEscalated {
+			s.integrity.Set(0)
+		} else {
+			s.integrity.Set(1)
+		}
+	}
+}
+
+// stepGraph executes one iteration as a task graph: the U12 solve tiled into
+// lu.trsm tasks, the trailing update into an r×c grid of lu.gemm tasks, and
+// — with look-ahead — the next iteration's panel factorization as an
+// lu.panel task that becomes ready as soon as its own column block is up to
+// date, overlapping the rest of the update. The scheduler places every task
+// on the device predicted to finish it first, blending the static models
+// with the rates measured over previous iterations.
+func (s *Sim) stepGraph(j, jb, trailing int) {
+	g := taskgraph.New()
+	nt := (trailing + s.nb - 1) / s.nb // tile count of the trailing grid
+	tw := func(i int) int { return min(s.nb, trailing-i*s.nb) }
+	k := j / s.nb // block-column index, for trace labels
+	gpuVariant := s.cfg.Variant.UsesGPU()
+
+	piv := g.NewHandle("piv", 8*int64(jb))
+	ls := make([]*taskgraph.Handle, nt)
+	us := make([]*taskgraph.Handle, nt)
+	ts := make([][]*taskgraph.Handle, nt)
+	for i := 0; i < nt; i++ {
+		ls[i] = g.NewHandle(fmt.Sprintf("l(%d)", i), 8*int64(tw(i))*int64(jb))
+		us[i] = g.NewHandle(fmt.Sprintf("u(%d)", i), 8*int64(jb)*int64(tw(i)))
+		ts[i] = make([]*taskgraph.Handle, nt)
+		for c := 0; c < nt; c++ {
+			ts[i][c] = g.NewHandle(fmt.Sprintf("t(%d,%d)", i, c), 8*int64(tw(i))*int64(tw(c)))
+		}
+	}
+
+	// addPanel books the recursive factorization of the height×width panel.
+	addPanel := func(name string, height, width int, accs []taskgraph.Access) {
+		flops := float64(width) * float64(width) * (float64(height) - float64(width)/3)
+		g.Add(&taskgraph.Task{
+			Name: name, Codelet: "lu.panel", Flops: flops, Priority: 3,
+			Costs:    taskgraph.Costs{CPUSeconds: func() float64 { return flops / (PanelRateGFLOPS * 1e9) }},
+			Accesses: accs,
+		})
+	}
+
+	if !s.panelAhead {
+		// This iteration's panel was not factored by the previous graph:
+		// book it first, feeding the pivots and the L21 row blocks.
+		accs := []taskgraph.Access{{H: piv, Mode: taskgraph.Write}}
+		for r := 0; r < nt; r++ {
+			accs = append(accs, taskgraph.Access{H: ls[r], Mode: taskgraph.Write})
+		}
+		addPanel(fmt.Sprintf("panel(%d)", k), trailing+jb, jb, accs)
+	}
+
+	for c := 0; c < nt; c++ {
+		cw := tw(c)
+		flops := float64(jb) * float64(jb) * float64(cw)
+		g.Add(&taskgraph.Task{
+			Name: fmt.Sprintf("prep(%d,%d)", k, c), Codelet: "lu.trsm", Flops: flops, Priority: 2,
+			Costs: taskgraph.Costs{CPUSeconds: func() float64 { return flops / (TrsmRateGFLOPS * 1e9) }},
+			Accesses: []taskgraph.Access{
+				{H: piv, Mode: taskgraph.Read},
+				{H: us[c], Mode: taskgraph.Write},
+			},
+		})
+	}
+	for c := 0; c < nt; c++ {
+		cw := tw(c)
+		for r := 0; r < nt; r++ {
+			rh := tw(r)
+			costs := taskgraph.Costs{
+				CPUSeconds: func() float64 { return s.el.CPU.Core(0).Seconds(rh, cw, jb, true) },
+			}
+			if gpuVariant {
+				costs.GPUSeconds = func() float64 { return s.el.GPU.Model().KernelSeconds(rh, cw, jb) }
+			}
+			g.Add(&taskgraph.Task{
+				Name: fmt.Sprintf("upd(%d,%d,%d)", k, r, c), Codelet: "lu.gemm",
+				Flops: 2 * float64(rh) * float64(cw) * float64(jb),
+				Shape: [3]int{rh, cw, jb},
+				Costs: costs,
+				Accesses: []taskgraph.Access{
+					{H: ls[r], Mode: taskgraph.Read},
+					{H: us[c], Mode: taskgraph.Read},
+					{H: ts[r][c], Mode: taskgraph.ReadWrite},
+				},
+			})
+		}
+	}
+
+	s.panelAhead = false
+	if s.cfg.Lookahead >= 1 && trailing > 0 {
+		// The next panel factors column block 0 of the updated trailing
+		// matrix: its ReadWrite accesses make it ready the moment upd(·,·,0)
+		// finishes, so it overlaps the remaining column blocks' updates.
+		accs := make([]taskgraph.Access, 0, nt)
+		for r := 0; r < nt; r++ {
+			accs = append(accs, taskgraph.Access{H: ts[r][0], Mode: taskgraph.ReadWrite})
+		}
+		addPanel(fmt.Sprintf("panel(%d)", k+1), trailing, min(s.nb, trailing), accs)
+		s.panelAhead = true
+	}
+
+	if g.Len() == 0 {
+		return
+	}
+	rep, err := s.gsched.Run(g, s.t)
+	if err != nil {
+		panic(fmt.Sprintf("linpacksim: graph iteration %d: %v", k, err))
+	}
+	if rep.Stalled {
+		panic("linpacksim: graph run stalled — GPU context lost without an adaptive fallback")
+	}
+	s.t = rep.End
+	s.noteABFT(rep.SDCDetected, rep.SDCCorrected, rep.SDCEscalated, rep.VerifySeconds)
 }
 
 // Escalated reports whether the last Step hit uncorrectable corruption: its

@@ -27,6 +27,14 @@ type Options struct {
 	BlockedEO bool
 	// BlockRows is H, the EO block height. Zero selects 512.
 	BlockRows int
+	// Lookahead is the depth of the CT/NT output deferral in overlap mode:
+	// how many tasks' OUTPUT phases may stay pending while successors book
+	// their inputs and kernels on the transfer thread. Zero selects 1 — the
+	// classic CT/NT pair of Table I, byte-identical to the historical
+	// hard-wired behavior. Deeper values let the single transfer thread
+	// push output batches further behind the kernel stream; without
+	// OverlapInput the strict input -> execute -> output order ignores it.
+	Lookahead int
 	// Tile overrides the tile extent; zero derives it from the device.
 	Tile int
 	// Telemetry receives the executor's probes: task/byte counters, the
@@ -61,6 +69,9 @@ func (o Options) withDefaults(dev *gpu.Device) Options {
 	}
 	if o.Tile <= 0 {
 		o.Tile = ChooseTile(dev.TextureLimit(), dev.MemBytes(), o.BlockRows)
+	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 1
 	}
 	return o
 }
@@ -453,7 +464,10 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 	// may begin then; without it they wait for the previous task to finish.
 	prevEOStart := earliest
 	prevTaskEnd := earliest
-	var deferred *outputJob
+	// deferred queues the OUTPUT jobs not yet drained, oldest first; overlap
+	// mode lets it grow to Options.Lookahead tasks deep before the oldest is
+	// forced out (depth 1 is the classic CT/NT pair).
+	var deferred []*outputJob
 	var prevEO sim.Span // the previous task's full EO stage [eoStart, kernel.End]
 	prevEOSet := false
 
@@ -465,10 +479,10 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		} else {
 			// Strict input -> execute -> output: finish the previous task's
 			// output before touching this task's inputs.
-			if deferred != nil {
-				prevTaskEnd = drain(deferred)
-				deferred = nil
+			for _, job := range deferred {
+				prevTaskEnd = drain(job)
 			}
+			deferred = deferred[:0]
 			inputEarliest = prevTaskEnd
 		}
 
@@ -573,18 +587,17 @@ func (e *Executor) run(p *Plan, alpha, beta float64, hostA, hostB, hostC *matrix
 		// overlap mode (the single transfer thread serves N-INPUT before the
 		// bulk of the EO downloads).
 		job := &outputJob{task: task, kernel: kernel, eoStart: eoStart, cBuf: cBuf, cBytes: cBytes}
+		deferred = append(deferred, job)
 		if e.opts.OverlapInput {
-			if deferred != nil {
-				prevTaskEnd = drain(deferred)
+			for len(deferred) > e.opts.Lookahead {
+				prevTaskEnd = drain(deferred[0])
+				deferred = deferred[1:]
 			}
-			deferred = job
-		} else {
-			deferred = job
 		}
 		prevEOStart = eoStart
 	}
-	if deferred != nil {
-		prevTaskEnd = drain(deferred)
+	for _, job := range deferred {
+		prevTaskEnd = drain(job)
 	}
 	_ = prevTaskEnd
 

@@ -1,0 +1,234 @@
+// Package taskgraph is the dataflow task runtime the repository's workloads
+// schedule onto: typed tasks (codelets with CPU and GPU cost variants) over
+// explicit data handles with declared access modes, dependency inference from
+// those declarations (StarPU's sequential-consistency rule), and a
+// deterministic ready-queue scheduler that places every task on the compute
+// element resource — GPU kernel queue or one of the CPU cores — where it is
+// predicted to finish first, feeding measured rates back into a trust-blended
+// database exactly the way the adaptive partitioner learns splits. Execution
+// is virtual-time on the existing sim timelines, so the fault injector's
+// health/stretch/throttle hooks and the telemetry bundle compose with graph
+// execution unchanged.
+package taskgraph
+
+import "fmt"
+
+// AccessMode declares how a task touches a handle.
+type AccessMode uint8
+
+const (
+	// Read declares the task consumes the handle's current value.
+	Read AccessMode = iota
+	// Write declares the task overwrites the handle.
+	Write
+	// ReadWrite declares the task updates the handle in place.
+	ReadWrite
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case ReadWrite:
+		return "RW"
+	}
+	return "?"
+}
+
+// Handle names one piece of data tasks exchange: a matrix tile, a pivot
+// vector, a stencil block. The runtime never stores the data itself — a
+// handle is a footprint (its byte size governs transfer bookings) plus an
+// identity for dependency inference and device residency.
+type Handle struct {
+	id    int
+	name  string
+	bytes int64
+}
+
+// Name returns the handle's name; residency is keyed by it, so names must be
+// unique within a graph.
+func (h *Handle) Name() string { return h.name }
+
+// Bytes returns the handle's footprint.
+func (h *Handle) Bytes() int64 { return h.bytes }
+
+// Access pairs a handle with the declared mode.
+type Access struct {
+	H    *Handle
+	Mode AccessMode
+}
+
+// Costs carries a task's per-device model durations. A nil entry means the
+// codelet has no implementation for that device; at least one must be set.
+type Costs struct {
+	// CPUSeconds returns the model duration on one compute core.
+	CPUSeconds func() float64
+	// GPUSeconds returns the model duration on the GPU kernel queue
+	// (transfers are booked separately from the handle footprints).
+	GPUSeconds func() float64
+}
+
+// Task is one node of the graph.
+type Task struct {
+	// Name labels the task in traces; unique within a graph.
+	Name string
+	// Codelet is the task's class name: it keys the measured-rate database,
+	// so every task of one codelet shares the learned CPU and GPU rates.
+	Codelet string
+	// Flops is the work estimate the rate feedback divides by.
+	Flops float64
+	// Shape carries (m, n, k) for tasks that are ABFT-verifiable: the
+	// checksum verification cost and the SDC strike geometry both need the
+	// dimensions. A zero shape opts the task out of verification.
+	Shape [3]int
+	// Priority orders the ready queue: higher-priority tasks are placed
+	// first. Builders use it to pull critical-path work (panel
+	// factorizations) ahead of bulk updates.
+	Priority int
+	// Costs are the per-device model durations.
+	Costs Costs
+	// Run is the optional real-arithmetic host body. Bodies of concurrent
+	// tasks must write only their declared Write/ReadWrite handles' data, so
+	// parallel execution stays bit-identical to serial.
+	Run func()
+	// Accesses declares the data footprint dependencies are inferred from.
+	Accesses []Access
+
+	id   int
+	deps []int
+}
+
+// ID returns the task's creation index within its graph.
+func (t *Task) ID() int { return t.id }
+
+// Deps returns the IDs of the tasks this task waits on.
+func (t *Task) Deps() []int { return t.deps }
+
+// Graph is a DAG of tasks over handles, built append-only: dependency
+// inference and explicit After edges only ever point at already-added tasks,
+// so a graph is acyclic by construction.
+type Graph struct {
+	tasks   []*Task
+	handles []*Handle
+
+	// Inference state, per handle: the last writer and the readers since.
+	lastWriter map[int]int
+	readers    map[int][]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		lastWriter: make(map[int]int),
+		readers:    make(map[int][]int),
+	}
+}
+
+// NewHandle registers a data handle of the given footprint.
+func (g *Graph) NewHandle(name string, bytes int64) *Handle {
+	if bytes < 0 {
+		panic(fmt.Sprintf("taskgraph: negative handle size %d for %q", bytes, name))
+	}
+	h := &Handle{id: len(g.handles), name: name, bytes: bytes}
+	g.handles = append(g.handles, h)
+	return h
+}
+
+// Tasks returns the tasks in creation order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Add inserts a task, infers its dependencies from the declared accesses
+// (readers wait on the last writer; writers wait on the last writer and
+// every reader since — the RAW/WAR/WAW rule), and returns it. Tasks with no
+// device variant at all panic: they could never run.
+func (g *Graph) Add(t *Task) *Task {
+	if t.Costs.CPUSeconds == nil && t.Costs.GPUSeconds == nil {
+		panic(fmt.Sprintf("taskgraph: task %q has no device variant", t.Name))
+	}
+	t.id = len(g.tasks)
+	seen := map[int]bool{}
+	dep := func(id int) {
+		if id >= 0 && id != t.id && !seen[id] {
+			seen[id] = true
+			t.deps = append(t.deps, id)
+		}
+	}
+	for _, a := range t.Accesses {
+		if a.H == nil {
+			panic(fmt.Sprintf("taskgraph: task %q declares a nil handle", t.Name))
+		}
+		switch a.Mode {
+		case Read:
+			if w, ok := g.lastWriter[a.H.id]; ok {
+				dep(w)
+			}
+			g.readers[a.H.id] = append(g.readers[a.H.id], t.id)
+		case Write, ReadWrite:
+			if w, ok := g.lastWriter[a.H.id]; ok {
+				dep(w)
+			}
+			for _, r := range g.readers[a.H.id] {
+				dep(r)
+			}
+			g.lastWriter[a.H.id] = t.id
+			g.readers[a.H.id] = nil
+		default:
+			panic(fmt.Sprintf("taskgraph: task %q declares unknown access mode %d", t.Name, a.Mode))
+		}
+	}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// After adds explicit dependencies beyond what access inference produced —
+// look-ahead depth barriers use it. Dependencies must already be in the
+// graph, which keeps the append-only acyclicity guarantee.
+func (g *Graph) After(t *Task, deps ...*Task) {
+	if len(g.tasks) == 0 || g.tasks[t.id] != t {
+		panic(fmt.Sprintf("taskgraph: After on task %q before Add", t.Name))
+	}
+	seen := map[int]bool{}
+	for _, d := range t.deps {
+		seen[d] = true
+	}
+	for _, d := range deps {
+		if g.tasks[d.id] != d {
+			panic(fmt.Sprintf("taskgraph: dependency %q of %q not in this graph", d.Name, t.Name))
+		}
+		if d.id == t.id || seen[d.id] {
+			continue
+		}
+		seen[d.id] = true
+		t.deps = append(t.deps, d.id)
+	}
+}
+
+// Validate checks structural invariants: in-range acyclic dependencies and
+// unique task names. The append-only builder cannot produce a cycle, but the
+// scheduler still refuses graphs that fail validation rather than deadlock.
+func (g *Graph) Validate() error {
+	names := make(map[string]bool, len(g.tasks))
+	for i, t := range g.tasks {
+		if t.id != i {
+			return fmt.Errorf("taskgraph: task %q has id %d at position %d", t.Name, t.id, i)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("taskgraph: duplicate task name %q", t.Name)
+		}
+		names[t.Name] = true
+		for _, d := range t.deps {
+			if d < 0 || d >= len(g.tasks) {
+				return fmt.Errorf("taskgraph: task %q depends on out-of-range task %d", t.Name, d)
+			}
+			if d >= i {
+				return fmt.Errorf("taskgraph: task %q depends on later task %d — cycle", t.Name, d)
+			}
+		}
+	}
+	return nil
+}

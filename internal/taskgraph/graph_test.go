@@ -1,0 +1,78 @@
+package taskgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func cpuCost(s float64) Costs { return Costs{CPUSeconds: func() float64 { return s }} }
+
+func bothCosts(c, g float64) Costs {
+	return Costs{
+		CPUSeconds: func() float64 { return c },
+		GPUSeconds: func() float64 { return g },
+	}
+}
+
+func TestDependencyInference(t *testing.T) {
+	g := New()
+	h := g.NewHandle("x", 100)
+	o := g.NewHandle("y", 100)
+
+	w0 := g.Add(&Task{Name: "w0", Costs: cpuCost(1), Accesses: []Access{{h, Write}}})
+	r1 := g.Add(&Task{Name: "r1", Costs: cpuCost(1), Accesses: []Access{{h, Read}, {o, Write}}})
+	r2 := g.Add(&Task{Name: "r2", Costs: cpuCost(1), Accesses: []Access{{h, Read}}})
+	w3 := g.Add(&Task{Name: "w3", Costs: cpuCost(1), Accesses: []Access{{h, ReadWrite}}})
+	r4 := g.Add(&Task{Name: "r4", Costs: cpuCost(1), Accesses: []Access{{h, Read}}})
+
+	// RAW: both readers depend on the writer.
+	if !reflect.DeepEqual(r1.Deps(), []int{w0.ID()}) {
+		t.Errorf("r1 deps = %v, want [w0]", r1.Deps())
+	}
+	if !reflect.DeepEqual(r2.Deps(), []int{w0.ID()}) {
+		t.Errorf("r2 deps = %v, want [w0]", r2.Deps())
+	}
+	// WAR + WAW: the next writer waits on the previous writer and all
+	// readers since.
+	if !reflect.DeepEqual(w3.Deps(), []int{w0.ID(), r1.ID(), r2.ID()}) {
+		t.Errorf("w3 deps = %v, want [w0 r1 r2]", w3.Deps())
+	}
+	// The reader barrier resets after a write.
+	if !reflect.DeepEqual(r4.Deps(), []int{w3.ID()}) {
+		t.Errorf("r4 deps = %v, want [w3]", r4.Deps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAfterAddsExplicitEdges(t *testing.T) {
+	g := New()
+	a := g.Add(&Task{Name: "a", Costs: cpuCost(1)})
+	b := g.Add(&Task{Name: "b", Costs: cpuCost(1)})
+	g.After(b, a, a) // duplicate collapses
+	if !reflect.DeepEqual(b.Deps(), []int{a.ID()}) {
+		t.Errorf("b deps = %v, want [a]", b.Deps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateNames(t *testing.T) {
+	g := New()
+	g.Add(&Task{Name: "dup", Costs: cpuCost(1)})
+	g.Add(&Task{Name: "dup", Costs: cpuCost(1)})
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted duplicate task names")
+	}
+}
+
+func TestAddPanicsWithoutVariant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add accepted a task with no device variant")
+		}
+	}()
+	New().Add(&Task{Name: "none"})
+}

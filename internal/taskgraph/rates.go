@@ -1,0 +1,215 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+)
+
+// rateAlpha is the EWMA weight of the newest measurement.
+const rateAlpha = 0.25
+
+// rateWarm is the observation count at which the blend weighs the measured
+// rate and the model estimate equally (trust = n/(n+rateWarm)).
+const rateWarm = 3.0
+
+// deviceRate is one (codelet, device) cell: an EWMA of measured flops/second
+// plus the observation count that drives the trust blend.
+type deviceRate struct {
+	Rate  float64 `json:"rate"`
+	Count float64 `json:"count"`
+}
+
+// RateDB is the affinity database: per-codelet measured execution rates for
+// the CPU and GPU variants, learned the same way database_g learns splits —
+// EWMA refresh after every execution, trust-blended against the static model
+// while warming, quarantined during a device outage and re-warmed with a
+// configurable half-life after recovery.
+type RateDB struct {
+	mu  sync.Mutex
+	cpu map[string]*deviceRate
+	gpu map[string]*deviceRate
+
+	// GPU fault-resilience state, mirroring adaptive.DatabaseG: while
+	// quarantined, GPU observations are discarded (they describe lost
+	// hardware); after Rewarm, GPU estimates blend back from the model toward
+	// the learned rate as trust recovers.
+	quarantined bool
+	warming     bool
+	trust       float64
+	decay       float64
+}
+
+// NewRateDB returns an empty affinity database.
+func NewRateDB() *RateDB {
+	return &RateDB{
+		cpu: make(map[string]*deviceRate),
+		gpu: make(map[string]*deviceRate),
+	}
+}
+
+func (db *RateDB) cell(gpu bool, codelet string) *deviceRate {
+	m := db.cpu
+	if gpu {
+		m = db.gpu
+	}
+	r, ok := m[codelet]
+	if !ok {
+		r = &deviceRate{}
+		m[codelet] = r
+	}
+	return r
+}
+
+// Observe feeds one measured execution back: flops of work finished in
+// seconds on the given device. Non-finite or non-positive measurements are
+// discarded, as are GPU observations while quarantined.
+func (db *RateDB) Observe(codelet string, gpu bool, flops, seconds float64) {
+	if flops <= 0 || seconds <= 0 || math.IsInf(flops, 1) || math.IsInf(seconds, 1) ||
+		math.IsNaN(flops) || math.IsNaN(seconds) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if gpu && db.quarantined {
+		return
+	}
+	r := db.cell(gpu, codelet)
+	rate := flops / seconds
+	if r.Count == 0 {
+		r.Rate = rate
+	} else {
+		r.Rate += rateAlpha * (rate - r.Rate)
+	}
+	r.Count++
+	if gpu && db.warming {
+		db.trust = 1 - (1-db.trust)*db.decay
+		if db.trust > 0.999 {
+			db.warming = false
+		}
+	}
+}
+
+// Estimate predicts the duration of flops of work for the codelet on the
+// given device, blending the static model estimate with the measured rate by
+// trust w = n/(n+warm): a cold database answers the model exactly, a warm one
+// the measurement. During a GPU re-warm the measured contribution is further
+// scaled by the recovering trust.
+func (db *RateDB) Estimate(codelet string, gpu bool, flops, modelSeconds float64) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.cpu
+	if gpu {
+		m = db.gpu
+	}
+	r, ok := m[codelet]
+	if !ok || r.Count == 0 || r.Rate <= 0 || flops <= 0 {
+		return modelSeconds
+	}
+	w := r.Count / (r.Count + rateWarm)
+	if gpu && db.warming {
+		w *= db.trust
+	}
+	return (1-w)*modelSeconds + w*flops/r.Rate
+}
+
+// Quarantine freezes the GPU side during a device outage: estimates keep
+// answering (the scheduler still ranks the CPU fallback against the model),
+// but GPU observations are discarded until Rewarm.
+func (db *RateDB) Quarantine() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.quarantined = true
+}
+
+// Quarantined reports whether GPU observations are currently discarded.
+func (db *RateDB) Quarantined() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.quarantined
+}
+
+// Rewarm lifts a quarantine after device recovery: GPU trust drops to zero
+// so estimates restart from the model, and each subsequent observation
+// halves the remaining distrust every halfLife observations. halfLife <= 0
+// restores full trust immediately.
+func (db *RateDB) Rewarm(halfLife float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.quarantined = false
+	if halfLife <= 0 {
+		db.warming = false
+		db.trust = 1
+		return
+	}
+	db.warming = true
+	db.trust = 0
+	db.decay = math.Pow(0.5, 1/halfLife)
+}
+
+type rateDBJSON struct {
+	CPU map[string]deviceRate `json:"cpu"`
+	GPU map[string]deviceRate `json:"gpu"`
+}
+
+// MarshalJSON serializes the learned rates (resilience state is never
+// persisted — a saved database is always the healthy view). Keys marshal in
+// sorted order via encoding/json, so equal databases serialize identically.
+func (db *RateDB) MarshalJSON() ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	j := rateDBJSON{CPU: map[string]deviceRate{}, GPU: map[string]deviceRate{}}
+	for k, v := range db.cpu {
+		j.CPU[k] = *v
+	}
+	for k, v := range db.gpu {
+		j.GPU[k] = *v
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a serialized database as a fresh healthy state.
+func (db *RateDB) UnmarshalJSON(b []byte) error {
+	var j rateDBJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cpu = make(map[string]*deviceRate, len(j.CPU))
+	db.gpu = make(map[string]*deviceRate, len(j.GPU))
+	for k, v := range j.CPU {
+		c := v
+		db.cpu[k] = &c
+	}
+	for k, v := range j.GPU {
+		c := v
+		db.gpu[k] = &c
+	}
+	db.quarantined = false
+	db.warming = false
+	db.trust = 0
+	db.decay = 0
+	return nil
+}
+
+// Codelets returns the sorted union of codelet names with any learned rate,
+// for reports and tests.
+func (db *RateDB) Codelets() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := map[string]bool{}
+	for k := range db.cpu {
+		seen[k] = true
+	}
+	for k := range db.gpu {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,117 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRateDBColdAnswersModel(t *testing.T) {
+	db := NewRateDB()
+	if got := db.Estimate("gemm", true, 1e9, 0.5); got != 0.5 {
+		t.Errorf("cold estimate = %v, want the model 0.5", got)
+	}
+}
+
+func TestRateDBWarmsTowardMeasurement(t *testing.T) {
+	db := NewRateDB()
+	// Measured rate 2 GFLOP/s; model claims 1e9 flops take 0.1s (10 GFLOP/s).
+	prev := db.Estimate("gemm", false, 1e9, 0.1)
+	for i := 0; i < 20; i++ {
+		db.Observe("gemm", false, 1e9, 0.5)
+		est := db.Estimate("gemm", false, 1e9, 0.1)
+		if est < prev-1e-12 {
+			t.Fatalf("estimate moved away from the measurement: %v after %v", est, prev)
+		}
+		prev = est
+	}
+	if math.Abs(prev-0.5) > 0.07 {
+		t.Errorf("warm estimate = %v, want near the measured 0.5", prev)
+	}
+}
+
+func TestRateDBQuarantineDiscardsGPUObservations(t *testing.T) {
+	db := NewRateDB()
+	db.Observe("gemm", true, 1e9, 0.5)
+	warm := db.Estimate("gemm", true, 1e9, 0.1)
+	db.Quarantine()
+	if !db.Quarantined() {
+		t.Fatal("Quarantined() = false after Quarantine")
+	}
+	db.Observe("gemm", true, 1e9, 5.0) // outage measurement: must be dropped
+	db.Rewarm(0)                       // full trust back immediately
+	if got := db.Estimate("gemm", true, 1e9, 0.1); got != warm {
+		t.Errorf("estimate after quarantined store = %v, want unchanged %v", got, warm)
+	}
+	// CPU observations are never quarantined.
+	db2 := NewRateDB()
+	db2.Quarantine()
+	db2.Observe("gemm", false, 1e9, 1.0)
+	if got := db2.Estimate("gemm", false, 1e9, 0.1); got == 0.1 {
+		t.Error("CPU observation was discarded during GPU quarantine")
+	}
+}
+
+func TestRateDBRewarmRestoresTrustGradually(t *testing.T) {
+	db := NewRateDB()
+	for i := 0; i < 50; i++ {
+		db.Observe("gemm", true, 1e9, 0.5) // measured 2 GFLOP/s, model says 10
+	}
+	warm := db.Estimate("gemm", true, 1e9, 0.1)
+	db.Quarantine()
+	db.Rewarm(4)
+	cold := db.Estimate("gemm", true, 1e9, 0.1)
+	if math.Abs(cold-0.1) > 1e-9 {
+		t.Errorf("estimate right after rewarm = %v, want the model 0.1", cold)
+	}
+	prev := cold
+	for i := 0; i < 40; i++ {
+		db.Observe("gemm", true, 1e9, 0.5)
+		est := db.Estimate("gemm", true, 1e9, 0.1)
+		if est < prev-1e-12 {
+			t.Fatalf("trust regressed: estimate %v after %v", est, prev)
+		}
+		prev = est
+	}
+	if math.Abs(prev-warm) > 0.05 {
+		t.Errorf("estimate after re-warm = %v, want back near %v", prev, warm)
+	}
+}
+
+func TestRateDBJSONRoundTrip(t *testing.T) {
+	db := NewRateDB()
+	db.Observe("gemm", true, 1e9, 0.5)
+	db.Observe("panel", false, 1e8, 0.2)
+	b, err := json.Marshal(db)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back RateDB
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("round trip drifted:\n%s\n%s", b, b2)
+	}
+	if got, want := back.Estimate("gemm", true, 1e9, 9), db.Estimate("gemm", true, 1e9, 9); got != want {
+		t.Errorf("restored estimate = %v, want %v", got, want)
+	}
+	if got := back.Codelets(); len(got) != 2 || got[0] != "gemm" || got[1] != "panel" {
+		t.Errorf("Codelets = %v, want [gemm panel]", got)
+	}
+}
+
+func TestRateDBDiscardsBadMeasurements(t *testing.T) {
+	db := NewRateDB()
+	db.Observe("gemm", false, 0, 1)
+	db.Observe("gemm", false, 1e9, 0)
+	db.Observe("gemm", false, math.NaN(), 1)
+	db.Observe("gemm", false, 1e9, math.Inf(1))
+	if got := db.Estimate("gemm", false, 1e9, 0.25); got != 0.25 {
+		t.Errorf("estimate after garbage observations = %v, want the model 0.25", got)
+	}
+}

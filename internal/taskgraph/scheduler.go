@@ -1,0 +1,668 @@
+package taskgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tianhe/internal/abft"
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+	"tianhe/internal/sim"
+	"tianhe/internal/telemetry"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Affinity is the measured-rate database placement decisions blend with
+	// the static cost models; nil builds a fresh one. Sharing one database
+	// across graphs is how the runtime learns: the LU stepper feeds every
+	// iteration's measurements into the next iteration's placements.
+	Affinity *RateDB
+	// Telemetry receives the scheduler's probes; nil disables them.
+	Telemetry *telemetry.Telemetry
+	// Verify enables ABFT checksum verification of every GPU task that
+	// declares a Shape, at its drain, exactly like the pipeline executor.
+	Verify bool
+	// SDC is the injector consulted for corruption strikes at each verified
+	// drain (nil: verification runs, nothing strikes).
+	SDC *fault.Injector
+	// GPUFallback makes the scheduler resilient to device loss: tasks place
+	// CPU-only while the hardware is gone (quarantining the affinity
+	// database's GPU side), and recovery books the context re-init and
+	// re-warms with RewarmHalfLife. Without it a dead context stalls the run,
+	// like every fault-unaware runtime.
+	GPUFallback    bool
+	RewarmHalfLife float64
+	// Par is the host worker count real task bodies execute on; <= 1 runs
+	// them serially in schedule order. Placement and every booking are
+	// serial regardless, so timing is byte-identical across Par values, and
+	// bodies write disjoint declared handles, so data is too.
+	Par int
+}
+
+// TaskSpan records one placed task for traces and goldens.
+type TaskSpan struct {
+	// Name and Codelet identify the task; Device is "gpu" or "cpuN".
+	Name, Codelet, Device string
+	// Start and End bound the task's execution booking (ABFT verification
+	// and recompute extensions included in End).
+	Start, End sim.Time
+}
+
+// Report summarizes one scheduled graph.
+type Report struct {
+	// Start and End bound the whole graph in virtual time (final dirty-handle
+	// drain included).
+	Start, End sim.Time
+	// Tasks counts the graph's tasks; TasksGPU/TasksCPU the placement split.
+	Tasks, TasksGPU, TasksCPU int
+	// Flops is the summed task work.
+	Flops float64
+	// BytesIn/BytesOut are the booked transfer volumes; BytesSkipped counts
+	// reads served from device residency.
+	BytesIn, BytesOut, BytesSkipped int64
+	// SDC/ABFT outcome counters, as in the pipeline report.
+	SDCDetected, SDCCorrected, SDCEscalated, RecomputedTasks int
+	// VerifySeconds is the host checksum time, included in End.
+	VerifySeconds float64
+	// Stalled reports a fault-unaware scheduler hitting a dead GPU context:
+	// nothing past that submission executed.
+	Stalled bool
+	// TaskSpans lists every task in schedule order.
+	TaskSpans []TaskSpan
+}
+
+// Seconds returns the end-to-end virtual duration.
+func (r Report) Seconds() float64 { return r.End - r.Start }
+
+// GFLOPS returns the achieved rate.
+func (r Report) GFLOPS() float64 {
+	s := r.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return r.Flops / s / 1e9
+}
+
+// Span returns the recorded span of the named task; ok is false when the
+// task was not scheduled (stalled run).
+func (r Report) Span(name string) (TaskSpan, bool) {
+	for _, ts := range r.TaskSpans {
+		if ts.Name == name {
+			return ts, true
+		}
+	}
+	return TaskSpan{}, false
+}
+
+// schedProbes holds the scheduler's metric handles, fetched once.
+type schedProbes struct {
+	tasks, tasksGPU, tasksCPU       *telemetry.Counter
+	flops                           *telemetry.Counter
+	bytesIn, bytesOut, bytesSkipped *telemetry.Counter
+	makespan                        *telemetry.Gauge
+	tracer                          *telemetry.Tracer
+
+	// ABFT probes, registered lazily on the first verified task so metric
+	// dumps of unverified runs stay byte-identical.
+	tel                            *telemetry.Telemetry
+	sdcDetected, sdcCorr, sdcEscal *telemetry.Counter
+	verifySeconds                  *telemetry.Gauge
+}
+
+func (pr *schedProbes) sdcProbes() {
+	if pr.sdcDetected != nil {
+		return
+	}
+	pr.sdcDetected = pr.tel.Counter("taskgraph.sdc.detected")
+	pr.sdcCorr = pr.tel.Counter("taskgraph.sdc.corrected")
+	pr.sdcEscal = pr.tel.Counter("taskgraph.sdc.escalated")
+	pr.verifySeconds = pr.tel.Gauge("taskgraph.abft.verify_seconds")
+}
+
+func newSchedProbes(tel *telemetry.Telemetry) *schedProbes {
+	if !tel.Enabled() {
+		return nil
+	}
+	return &schedProbes{
+		tasks:        tel.Counter("taskgraph.tasks"),
+		tasksGPU:     tel.Counter("taskgraph.tasks_gpu"),
+		tasksCPU:     tel.Counter("taskgraph.tasks_cpu"),
+		flops:        tel.Counter("taskgraph.flops"),
+		bytesIn:      tel.Counter("taskgraph.bytes_in"),
+		bytesOut:     tel.Counter("taskgraph.bytes_out"),
+		bytesSkipped: tel.Counter("taskgraph.bytes_skipped"),
+		makespan:     tel.Gauge("taskgraph.makespan_seconds"),
+		tracer:       tel.Trace,
+		tel:          tel,
+	}
+}
+
+// Scheduler places graphs on one compute element. It persists across graphs:
+// the affinity database, the SDC task counter, and the fault state carry
+// from one Run to the next, which is what lets the per-iteration LU graphs
+// behave like one long adaptive run.
+type Scheduler struct {
+	el     *element.Element
+	opts   Options
+	rates  *RateDB
+	probes *schedProbes
+
+	gpuDown bool
+	taskSeq int
+}
+
+// NewScheduler builds a scheduler over the element.
+func NewScheduler(el *element.Element, opts Options) *Scheduler {
+	if opts.Affinity == nil {
+		opts.Affinity = NewRateDB()
+	}
+	return &Scheduler{
+		el:     el,
+		opts:   opts,
+		rates:  opts.Affinity,
+		probes: newSchedProbes(opts.Telemetry),
+	}
+}
+
+// Rates returns the affinity database (for checkpointing and tests).
+func (s *Scheduler) Rates() *RateDB { return s.rates }
+
+// TaskSeq returns the global verified-task counter that keys the SDC
+// injector's per-task decision streams.
+func (s *Scheduler) TaskSeq() int { return s.taskSeq }
+
+// SetTaskSeq restores the counter from a checkpoint.
+func (s *Scheduler) SetTaskSeq(n int) { s.taskSeq = n }
+
+// readyItem is one schedulable task in the priority queue.
+type readyItem struct {
+	id       int
+	priority int
+	readyAt  sim.Time
+}
+
+// readyHeap orders by (-priority, readyAt, id): critical-path tasks first,
+// then earliest-ready, with the creation index as the deterministic
+// tie-breaker.
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	//lint:ignore floateq exact ready-time ties must fall through to the id tie-breaker for a total order
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// residentEntry tracks one handle cached in device memory.
+type residentEntry struct {
+	bytes int64
+	sp    sim.Span // the booking that produced the device copy
+	dirty bool     // device copy newer than host
+	lru   int
+}
+
+// Run schedules and executes the graph, with no task starting before
+// earliest. Placement is a serial deterministic list-scheduling loop; real
+// host bodies then execute (serially or on Options.Par workers) in an order
+// consistent with the dependency DAG.
+func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
+	if err := g.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Start: earliest, End: earliest, Tasks: g.Len()}
+	tasks := g.Tasks()
+
+	// Dependency bookkeeping.
+	n := len(tasks)
+	indeg := make([]int, n)
+	children := make([][]int, n)
+	for _, t := range tasks {
+		indeg[t.id] = len(t.deps)
+		for _, d := range t.deps {
+			children[d] = append(children[d], t.id)
+		}
+	}
+	finish := make([]sim.Time, n)
+
+	ready := &readyHeap{}
+	for _, t := range tasks {
+		if indeg[t.id] == 0 {
+			heap.Push(ready, readyItem{id: t.id, priority: t.Priority, readyAt: earliest})
+		}
+	}
+
+	// Device residency, keyed by handle name; fresh per Run so a graph's
+	// timing never depends on what an earlier graph left in device memory
+	// (checkpoint restores replay bit-identically).
+	resident := make(map[string]*residentEntry)
+	lruTick := 0
+	var memInUse int64
+	dev := s.el.GPU
+	cores := s.el.CPU.Cores()
+
+	dropResidency := func() {
+		resident = make(map[string]*residentEntry)
+		memInUse = 0
+	}
+
+	evictFor := func(need int64, keep map[string]bool) {
+		for memInUse+need > dev.MemBytes() {
+			victim := ""
+			best := int(^uint(0) >> 1)
+			for name, re := range resident {
+				if keep[name] {
+					continue
+				}
+				if re.lru < best {
+					best, victim = re.lru, name
+				}
+			}
+			if victim == "" {
+				panic(fmt.Sprintf("taskgraph: working set of %d bytes exceeds device memory %d", need, dev.MemBytes()))
+			}
+			re := resident[victim]
+			if re.dirty {
+				// The only device copy is newer than the host: write it back
+				// before dropping it.
+				sp := dev.DownloadBytes(re.bytes, re.sp.End)
+				rep.BytesOut += re.bytes
+				if sp.End > rep.End {
+					rep.End = sp.End
+				}
+			}
+			memInUse -= re.bytes
+			delete(resident, victim)
+		}
+	}
+
+	// admitGPU applies device-health admission control before a GPU
+	// placement, mirroring the hybrid runner: fault-unaware schedulers stall
+	// on a dead context; fault-aware ones fall back to CPU during the outage
+	// (quarantining the affinity database's GPU rates and dropping the lost
+	// device memory) and re-init + re-warm once the hardware answers.
+	admitGPU := func(at sim.Time) (ok, stalled bool) {
+		if dev.Health() == nil || !dev.ContextDead(at) {
+			return true, false
+		}
+		if !s.opts.GPUFallback {
+			return false, true
+		}
+		if dev.AvailableAt(at) {
+			sp := dev.Reinit(at)
+			dev.DMA.AdvanceTo(sp.End)
+			// The re-created context starts with empty device memory.
+			dropResidency()
+			s.gpuDown = false
+			s.rates.Rewarm(s.opts.RewarmHalfLife)
+			if pr := s.probes; pr != nil {
+				pr.tracer.Instant("taskgraph.fault", "fault", "gpu.reinit", sp.End)
+			}
+			return true, false
+		}
+		if !s.gpuDown {
+			s.gpuDown = true
+			s.rates.Quarantine()
+			dropResidency()
+			if pr := s.probes; pr != nil {
+				pr.tracer.Instant("taskgraph.fault", "fault", "gpu.fallback", at)
+			}
+		}
+		return false, false
+	}
+
+	for ready.Len() > 0 {
+		it := heap.Pop(ready).(readyItem)
+		t := tasks[it.id]
+		readyAt := it.readyAt
+		rep.Flops += t.Flops
+
+		// Candidate devices. A GPU-only task during an outage waits for the
+		// hardware to answer again (its readiness moves to the restore time,
+		// where admission re-inits the context).
+		gpuOK := t.Costs.GPUSeconds != nil
+		cpuOK := t.Costs.CPUSeconds != nil
+		if gpuOK && dev.Health() != nil && dev.ContextDead(readyAt) {
+			at := readyAt
+			if !cpuOK && !dev.AvailableAt(at) && s.opts.GPUFallback {
+				at = dev.Health().RestoredAt(at)
+				readyAt = at
+			}
+			ok, stalled := admitGPU(at)
+			if stalled {
+				rep.Stalled = true
+				if pr := s.probes; pr != nil {
+					pr.tracer.Instant("taskgraph.fault", "fault", "gpu.stall", readyAt)
+				}
+				return rep, nil
+			}
+			gpuOK = ok
+		}
+		if !gpuOK && !cpuOK {
+			panic(fmt.Sprintf("taskgraph: task %q has no runnable device variant", t.Name))
+		}
+
+		// Estimate both placements, blending models with measured rates.
+		const never = 1e30
+		gpuEst, cpuEst := sim.Time(never), sim.Time(never)
+		bestCore := -1
+		if gpuOK {
+			var freshBytes int64
+			for _, a := range t.Accesses {
+				if a.Mode == Write {
+					continue
+				}
+				if _, ok := resident[a.H.name]; !ok {
+					freshBytes += a.H.bytes
+				}
+			}
+			xfer := dev.TransferModel().Seconds(freshBytes)
+			start := dev.Queue.Available()
+			if readyAt > start {
+				start = readyAt
+			}
+			dmaDone := dev.DMA.Available()
+			if readyAt > dmaDone {
+				dmaDone = readyAt
+			}
+			dmaDone += xfer
+			if dmaDone > start {
+				start = dmaDone
+			}
+			gpuEst = start + s.rates.Estimate(t.Codelet, true, t.Flops, t.Costs.GPUSeconds())
+		}
+		if cpuOK {
+			est := s.rates.Estimate(t.Codelet, false, t.Flops, t.Costs.CPUSeconds())
+			for ci, core := range cores {
+				st := core.TL.Available()
+				if readyAt > st {
+					st = readyAt
+				}
+				if fin := st + est; fin < cpuEst {
+					cpuEst, bestCore = fin, ci
+				}
+			}
+		}
+
+		// Gather dependency spans once; bookings start after them.
+		depSpan := sim.Span{Start: readyAt, End: readyAt}
+
+		var sp sim.Span
+		var device string
+		if gpuOK && gpuEst <= cpuEst {
+			device = "gpu"
+			// Uploads for reads not yet resident; resident reads are skips.
+			keep := make(map[string]bool, len(t.Accesses))
+			for _, a := range t.Accesses {
+				keep[a.H.name] = true
+			}
+			deps := []sim.Span{depSpan}
+			for _, a := range t.Accesses {
+				if a.Mode == Write {
+					continue
+				}
+				if re, ok := resident[a.H.name]; ok {
+					lruTick++
+					re.lru = lruTick
+					rep.BytesSkipped += re.bytes
+					deps = append(deps, re.sp)
+					continue
+				}
+				evictFor(a.H.bytes, keep)
+				up := dev.UploadBytes(a.H.bytes, readyAt)
+				rep.BytesIn += a.H.bytes
+				lruTick++
+				resident[a.H.name] = &residentEntry{bytes: a.H.bytes, sp: up, lru: lruTick}
+				memInUse += a.H.bytes
+				deps = append(deps, up)
+			}
+			// Write-only outputs still occupy device memory.
+			for _, a := range t.Accesses {
+				if a.Mode != Write {
+					continue
+				}
+				if _, ok := resident[a.H.name]; !ok {
+					evictFor(a.H.bytes, keep)
+					lruTick++
+					resident[a.H.name] = &residentEntry{bytes: a.H.bytes, lru: lruTick}
+					memInUse += a.H.bytes
+				}
+			}
+			sp = dev.Kernel(t.Name, t.Costs.GPUSeconds(), deps...)
+			s.rates.Observe(t.Codelet, true, t.Flops, sp.Duration())
+			// Written handles now live on the device, newer than the host.
+			for _, a := range t.Accesses {
+				if a.Mode == Read {
+					continue
+				}
+				re := resident[a.H.name]
+				lruTick++
+				re.lru = lruTick
+				re.sp = sp
+				re.dirty = true
+			}
+			rep.TasksGPU++
+		} else {
+			core := cores[bestCore]
+			device = fmt.Sprintf("cpu%d", bestCore)
+			// Host readers of device-dirty handles wait for the download.
+			start := readyAt
+			for _, a := range t.Accesses {
+				if a.Mode == Write {
+					continue
+				}
+				if re, ok := resident[a.H.name]; ok && re.dirty {
+					down := dev.DownloadBytes(re.bytes, re.sp.End)
+					rep.BytesOut += re.bytes
+					re.dirty = false
+					re.sp = down
+					if down.End > start {
+						start = down.End
+					}
+				}
+			}
+			sp = core.Work(t.Name, t.Costs.CPUSeconds(), start)
+			s.rates.Observe(t.Codelet, false, t.Flops, sp.Duration())
+			// A host write invalidates any device copy.
+			for _, a := range t.Accesses {
+				if a.Mode == Read {
+					continue
+				}
+				if re, ok := resident[a.H.name]; ok {
+					memInUse -= re.bytes
+					delete(resident, a.H.name)
+				}
+			}
+			rep.TasksCPU++
+		}
+
+		end := sp.End
+		if device == "gpu" && s.opts.Verify && (t.Shape[0] > 0 || t.Shape[1] > 0) {
+			end = s.verifyTask(t, sp, &rep)
+		}
+		finish[t.id] = end
+		if end > rep.End {
+			rep.End = end
+		}
+		rep.TaskSpans = append(rep.TaskSpans, TaskSpan{
+			Name: t.Name, Codelet: t.Codelet, Device: device, Start: sp.Start, End: end,
+		})
+
+		for _, c := range children[t.id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ra := earliest
+				for _, d := range tasks[c].deps {
+					if finish[d] > ra {
+						ra = finish[d]
+					}
+				}
+				heap.Push(ready, readyItem{id: c, priority: tasks[c].Priority, readyAt: ra})
+			}
+		}
+	}
+
+	// Final drain: handles whose only up-to-date copy lives on the device
+	// stream back so the host state is complete, in residency order.
+	type drain struct {
+		lru   int
+		bytes int64
+		at    sim.Time
+	}
+	var drains []drain
+	for _, re := range resident {
+		if re.dirty {
+			drains = append(drains, drain{lru: re.lru, bytes: re.bytes, at: re.sp.End})
+		}
+	}
+	sort.Slice(drains, func(i, j int) bool { return drains[i].lru < drains[j].lru })
+	for _, d := range drains {
+		sp := dev.DownloadBytes(d.bytes, d.at)
+		rep.BytesOut += d.bytes
+		if sp.End > rep.End {
+			rep.End = sp.End
+		}
+	}
+
+	s.runBodies(tasks, children)
+
+	if pr := s.probes; pr != nil {
+		pr.tasks.Add(int64(rep.Tasks))
+		pr.tasksGPU.Add(int64(rep.TasksGPU))
+		pr.tasksCPU.Add(int64(rep.TasksCPU))
+		pr.flops.Add(int64(rep.Flops))
+		pr.bytesIn.Add(rep.BytesIn)
+		pr.bytesOut.Add(rep.BytesOut)
+		pr.bytesSkipped.Add(rep.BytesSkipped)
+		pr.makespan.Set(rep.End - rep.Start)
+		if s.opts.Verify {
+			pr.sdcProbes()
+			pr.sdcDetected.Add(int64(rep.SDCDetected))
+			pr.sdcCorr.Add(int64(rep.SDCCorrected))
+			pr.sdcEscal.Add(int64(rep.SDCEscalated))
+			pr.verifySeconds.Add(rep.VerifySeconds)
+		}
+	}
+	return rep, nil
+}
+
+// verifyTask books the ABFT check of one GPU task at its drain and resolves
+// any SDC strike: a localizable single-element corruption re-books just this
+// task's kernel (plus a re-verify), an unlocalizable one counts as an
+// escalation for the caller's checkpoint machinery. Strikes are drawn from
+// the per-task streams keyed by the scheduler-lifetime sequence number, so
+// they depend only on (seed, drain order).
+func (s *Scheduler) verifyTask(t *Task, kernel sim.Span, rep *Report) sim.Time {
+	m, nn, k := t.Shape[0], t.Shape[1], t.Shape[2]
+	ver := abft.VerifySeconds(m, nn, k)
+	end := kernel.End + ver
+	rep.VerifySeconds += ver
+	seq := s.taskSeq
+	s.taskSeq++
+	if pr := s.probes; pr != nil {
+		pr.sdcProbes()
+		pr.tracer.Span("taskgraph.abft", "abft", "verify "+t.Name, kernel.End, end)
+	}
+	hit, struck := s.opts.SDC.SDCTask(seq, kernel.End, m, nn)
+	if !struck {
+		return end
+	}
+	rep.SDCDetected++
+	if abft.Classify(hit.Faults, hit.InChecksum) == abft.Escalate {
+		rep.SDCEscalated++
+		if pr := s.probes; pr != nil {
+			pr.tracer.Instant("taskgraph.abft", "abft", "sdc.escalate "+t.Name, end)
+		}
+		return end
+	}
+	redo := s.el.GPU.Kernel(t.Name+"~redo", t.Costs.GPUSeconds(), sim.Span{Start: end, End: end})
+	end = redo.End + ver
+	rep.VerifySeconds += ver
+	rep.SDCCorrected++
+	rep.RecomputedTasks++
+	if pr := s.probes; pr != nil {
+		pr.tracer.Instant("taskgraph.abft", "abft", "sdc.recompute "+t.Name, end)
+	}
+	return end
+}
+
+// runBodies executes the real host bodies. Serial mode walks the placement
+// order (a topological order); parallel mode runs a worker pool over the
+// dependency DAG. Bodies write disjoint declared handles, so both orders
+// produce bit-identical data.
+func (s *Scheduler) runBodies(tasks []*Task, children [][]int) {
+	any := false
+	for _, t := range tasks {
+		if t.Run != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	if s.opts.Par <= 1 {
+		for _, t := range tasks {
+			if t.Run != nil {
+				t.Run()
+			}
+		}
+		return
+	}
+	n := len(tasks)
+	indeg := make([]int, n)
+	for _, t := range tasks {
+		indeg[t.id] = len(t.deps)
+	}
+	queue := make(chan int, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(n)
+	// Seed the roots before any worker starts, so the indegree slice is
+	// touched by exactly one goroutine at a time (workers under mu).
+	for _, t := range tasks {
+		if indeg[t.id] == 0 {
+			queue <- t.id
+		}
+	}
+	workers := s.opts.Par
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for id := range queue {
+				if fn := tasks[id].Run; fn != nil {
+					fn()
+				}
+				mu.Lock()
+				for _, c := range children[id] {
+					indeg[c]--
+					if indeg[c] == 0 {
+						queue <- c // buffered to n: never blocks
+					}
+				}
+				mu.Unlock()
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(queue)
+}
