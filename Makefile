@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench faultgolden graphgolden parbench servebench
+.PHONY: check build test vet lint fuzz bench faultgolden graphgolden graphbench parbench servebench
 
 check:
 	./scripts/check.sh
@@ -39,7 +39,19 @@ faultgolden:
 # deliberately with `go test ./cmd/graphtrace -update`.
 graphgolden:
 	go run ./cmd/graphtrace -workload lu -golden | diff cmd/graphtrace/testdata/lu.golden -
+	go run ./cmd/graphtrace -workload lu -golden -hybrid | diff cmd/graphtrace/testdata/lu-hybrid.golden -
 	go run ./cmd/graphtrace -workload stencil -golden | diff cmd/graphtrace/testdata/stencil.golden -
+	go run ./cmd/graphtrace -workload stencil -golden -hybrid | diff cmd/graphtrace/testdata/stencil-hybrid.golden -
+
+# graphbench regenerates the graph-LU benchmark (monolithic vs graph at each
+# look-ahead depth vs graph+hybrid, N=46080) into a fresh artifact and guards
+# it against the committed BENCH_graphlu.json baseline: every mode's GFLOPS
+# must stay within 10%. Virtual time makes the run bit-exact from the seed,
+# so any drift the guard catches is a real code change — regenerate the
+# baseline deliberately with
+# `go run ./cmd/graphtrace -bench -o BENCH_graphlu.json` and commit it.
+graphbench:
+	go run ./cmd/graphtrace -bench -par 8 -o /tmp/tianhe_graphbench.json -baseline BENCH_graphlu.json
 
 # fuzz gives each native fuzz target a short fixed budget on top of its
 # checked-in seed corpus. New crashers land in testdata/fuzz/ — commit them.

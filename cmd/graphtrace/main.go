@@ -5,10 +5,14 @@
 // golden for the dataflow scheduler — any placement or ordering drift shows
 // up as a diff. Workloads: the graph-expressed LU factorization (-workload
 // lu, virtual topology at any size) and the 3-D Jacobi stencil sweep
-// (-workload stencil).
+// (-workload stencil); -hybrid arms the split CPU+GPU codelet bodies on
+// either. -bench runs the monolithic-vs-graph comparison instead and writes
+// the BENCH_graphlu.json perf-trajectory artifact, guarding it against a
+// committed baseline with -baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	"tianhe/internal/element"
+	"tianhe/internal/experiments"
 	"tianhe/internal/hpl"
 	"tianhe/internal/stencil"
 	"tianhe/internal/taskgraph"
@@ -35,8 +40,18 @@ func run(w io.Writer, args []string) error {
 	workload := fs.String("workload", "lu", "graph to schedule: lu or stencil")
 	seed := fs.Uint64("seed", 2009, "element seed (jitter and placement are deterministic in it)")
 	golden := fs.Bool("golden", false, "print the canonical task table instead of the Gantt chart")
+	hybrid := fs.Bool("hybrid", false, "arm the split CPU+GPU codelet bodies (GSplit-driven hybrid variants)")
 	tracePath := fs.String("trace", "", "write the schedule as Chrome trace-event JSON to this file")
 	width := fs.Int("width", 96, "Gantt chart width in characters")
+
+	// Bench flags (-bench ignores the workload flags and runs the
+	// monolithic-vs-graph comparison at the Fig-6 size).
+	bench := fs.Bool("bench", false, "run the graph-LU benchmark and write the BENCH_graphlu.json artifact")
+	benchN := fs.Int("benchn", 0, "bench: matrix order (0 selects the Fig-6 size, 46080)")
+	out := fs.String("o", "", "bench: write the benchmark artifact JSON to this file")
+	baseline := fs.String("baseline", "", "bench: committed benchmark to guard against (errors on regression)")
+	tolerance := fs.Float64("tolerance", 10, "bench: allowed per-mode GFLOPS regression in percent")
+	par := fs.Int("par", 1, "bench: worker parallelism of the sweep (output is identical for every par)")
 
 	// LU flags.
 	n := fs.Int("n", 2048, "lu: matrix order")
@@ -53,6 +68,9 @@ func run(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *bench {
+		return runBench(w, *seed, *benchN, *par, *out, *baseline, *tolerance)
+	}
 
 	var tel *telemetry.Telemetry
 	if *tracePath != "" {
@@ -66,25 +84,36 @@ func run(w io.Writer, args []string) error {
 
 	var rep taskgraph.Report
 	var title string
+	suffix := ""
+	if *hybrid {
+		suffix = " hybrid"
+	}
 	switch *workload {
 	case "lu":
-		g := hpl.BuildLUGraph(*n, nil, nil, el, nil, hpl.GraphOptions{NB: *nb, Lookahead: *lookahead})
+		if *hybrid {
+			// Cold-start priors so the first placements rank variants by the
+			// perf model, matching GraphDgetrf's seeding.
+			opts.RateSeeds = hpl.GraphRateSeeds(el, *nb)
+		}
+		g := hpl.BuildLUGraph(*n, nil, nil, el, nil,
+			hpl.GraphOptions{NB: *nb, Lookahead: *lookahead, Hybrid: *hybrid})
 		r, err := taskgraph.NewScheduler(el, opts).Run(g, 0)
 		if err != nil {
 			return err
 		}
 		rep = r
-		title = fmt.Sprintf("lu n=%d nb=%d lookahead=%d", *n, *nb, *lookahead)
+		title = fmt.Sprintf("lu n=%d nb=%d lookahead=%d%s", *n, *nb, *lookahead, suffix)
 	case "stencil":
 		s := stencil.NewVirtual(stencil.Config{
 			NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, BlockZ: *blockz, Seed: *seed,
+			Hybrid: *hybrid,
 		})
 		r, err := s.Run(el, opts)
 		if err != nil {
 			return err
 		}
 		rep = r
-		title = fmt.Sprintf("stencil %dx%dx%d steps=%d blockz=%d", *nx, *ny, *nz, *steps, *blockz)
+		title = fmt.Sprintf("stencil %dx%dx%d steps=%d blockz=%d%s", *nx, *ny, *nz, *steps, *blockz, suffix)
 	default:
 		return fmt.Errorf("unknown workload %q (lu or stencil)", *workload)
 	}
@@ -117,12 +146,52 @@ func run(w io.Writer, args []string) error {
 	return nil
 }
 
+// runBench runs the monolithic-vs-graph benchmark, writes the artifact, and
+// guards it against the committed baseline — the BENCH_graphlu.json
+// counterpart of tianhed's serving benchmark.
+func runBench(w io.Writer, seed uint64, n, par int, out, baseline string, tolerance float64) error {
+	res := experiments.GraphLUBench(seed, n, par)
+	for _, c := range res.Cells {
+		fmt.Fprintf(w, "%-14s lookahead=%-2d %9.3f s %8.2f GFLOPS %+6.1f%%\n",
+			c.Mode, c.Lookahead, c.Seconds, c.GFLOPS, c.GainPct)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", out)
+	}
+	if baseline == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base experiments.GraphLUBenchResult
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	if base.Schema != experiments.GraphLUBenchSchema {
+		return fmt.Errorf("baseline schema %q, want %q", base.Schema, experiments.GraphLUBenchSchema)
+	}
+	if err := experiments.GraphLURegression(res, base, tolerance); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline %s: all modes within %.0f%%\n", baseline, tolerance)
+	return nil
+}
+
 // writeGolden prints the canonical task table: one line per task in schedule
 // order, fixed six-decimal virtual seconds. This byte form is the CI golden.
 func writeGolden(w io.Writer, title string, rep taskgraph.Report) {
 	fmt.Fprintf(w, "# graphtrace %s\n", title)
-	fmt.Fprintf(w, "# tasks=%d gpu=%d cpu=%d makespan=%.6f\n",
-		rep.Tasks, rep.TasksGPU, rep.TasksCPU, rep.Seconds())
+	fmt.Fprintf(w, "# tasks=%d gpu=%d cpu=%d hyb=%d makespan=%.6f\n",
+		rep.Tasks, rep.TasksGPU, rep.TasksCPU, rep.TasksHyb, rep.Seconds())
 	for _, ts := range rep.TaskSpans {
 		fmt.Fprintf(w, "%s %s %s %.6f %.6f\n", ts.Name, ts.Codelet, ts.Device, ts.Start, ts.End)
 	}
@@ -130,7 +199,8 @@ func writeGolden(w io.Writer, title string, rep taskgraph.Report) {
 
 func writeSummary(w io.Writer, title string, rep taskgraph.Report) {
 	fmt.Fprintf(w, "graphtrace %s\n", title)
-	fmt.Fprintf(w, "  tasks    %d (%d gpu, %d cpu)\n", rep.Tasks, rep.TasksGPU, rep.TasksCPU)
+	fmt.Fprintf(w, "  tasks    %d (%d gpu, %d cpu, %d hybrid)\n",
+		rep.Tasks, rep.TasksGPU, rep.TasksCPU, rep.TasksHyb)
 	fmt.Fprintf(w, "  makespan %.6f s virtual\n", rep.Seconds())
 	fmt.Fprintf(w, "  rate     %.1f GFLOPS\n", rep.GFLOPS())
 	fmt.Fprintf(w, "  traffic  %d B in, %d B out, %d B served from residency\n",

@@ -23,7 +23,9 @@ func TestGoldenSchedules(t *testing.T) {
 		golden string
 	}{
 		{"lu", []string{"-workload", "lu", "-golden"}, "lu.golden"},
+		{"lu-hybrid", []string{"-workload", "lu", "-golden", "-hybrid"}, "lu-hybrid.golden"},
 		{"stencil", []string{"-workload", "stencil", "-golden"}, "stencil.golden"},
+		{"stencil-hybrid", []string{"-workload", "stencil", "-golden", "-hybrid"}, "stencil-hybrid.golden"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer

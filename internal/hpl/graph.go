@@ -3,6 +3,7 @@ package hpl
 import (
 	"fmt"
 
+	"tianhe/internal/adaptive"
 	"tianhe/internal/blas"
 	"tianhe/internal/element"
 	"tianhe/internal/matrix"
@@ -34,6 +35,17 @@ type GraphOptions struct {
 	// (the next panel overlaps this iteration's trailing update), and a
 	// negative depth leaves the pure dataflow order unconstrained.
 	Lookahead int
+	// Hybrid arms the trailing-update codelet with the split CPU+GPU body:
+	// upd(k,r,c) tasks may divide their rows between the device and the host
+	// cores by the adaptive GSplit, the same intra-update split the
+	// monolithic loop performs. The scheduler still chooses per task among
+	// cpu, gpu, and hybrid by earliest predicted finish.
+	Hybrid bool
+	// Part is the split oracle hybrid bodies consult: database_g keyed by
+	// tile work decides the GPU row fraction, database_c the per-core shares
+	// of the host half. nil with Hybrid set builds a fresh adaptive
+	// partitioner from the element's peak ratio.
+	Part adaptive.Partitioner
 	// Sched carries the scheduler knobs: affinity database, ABFT
 	// verification, fault fallback, telemetry and body parallelism.
 	Sched taskgraph.Options
@@ -115,6 +127,14 @@ func BuildLUGraph(n int, a *matrix.Dense, ipiv []int, el *element.Element, errs 
 
 	core := el.CPU.Core(0)
 	gpu := el.GPU
+	part := opts.Part
+	if opts.Hybrid && part == nil {
+		// Bucket splits by tile work: full NB³ update tiles land in the top
+		// bucket, the narrower edge tiles in lower ones — the same shape
+		// keying the monolithic loop's database_g uses for trailing updates.
+		maxWork := 2 * float64(opts.NB) * float64(opts.NB) * float64(opts.NB)
+		part = adaptive.NewAdaptive(64, maxWork, el.InitialGSplit(), el.CPU.NumCores())
+	}
 	var iter [][]*taskgraph.Task // all tasks of iteration k, for depth barriers
 	for k := 0; k < geo.t; k++ {
 		k := k
@@ -217,6 +237,20 @@ func BuildLUGraph(n int, a *matrix.Dense, ipiv []int, el *element.Element, errs 
 						{H: tiles[r][c], Mode: taskgraph.ReadWrite},
 					},
 				}
+				if opts.Hybrid {
+					flops := t.Flops
+					t.Hybrid = &taskgraph.Hybrid{
+						Rows:       rh,
+						Split:      func() float64 { return part.GSplit(flops) },
+						GPUSeconds: func(rows int) float64 { return gpu.Model().KernelSeconds(rows, cw, jb) },
+						CPUSeconds: func(rows int) float64 { return core.Seconds(rows, cw, jb, false) },
+						CSplits:    part.CSplits,
+						Observe: func(gsplit, tg, tc float64, coreWorks, coreTimes []float64) {
+							part.Observe(adaptive.Observation{Work: flops, GSplit: gsplit, TG: tg, TC: tc,
+								CoreWorks: coreWorks, CoreTimes: coreTimes})
+						},
+					}
+				}
 				if a != nil {
 					t.Run = func() {
 						blas.Dgemm(blas.NoTrans, blas.NoTrans,
@@ -231,6 +265,28 @@ func BuildLUGraph(n int, a *matrix.Dense, ipiv []int, el *element.Element, errs 
 		iter = append(iter, tasks)
 	}
 	return g
+}
+
+// GraphRateSeeds returns perfmodel-derived cold-start priors for the LU
+// codelets at blocking nb: the host rates of the panel and triangular-solve
+// codelets, and the CPU, GPU, and hybrid rates of the trailing-update DGEMM
+// at the full-tile shape. Each seed carries the weight of one observation,
+// so the first placements of a cold run rank variants by the model instead
+// of swinging on whatever the first jittered measurement happened to be.
+func GraphRateSeeds(el *element.Element, nb int) []taskgraph.RateSeed {
+	core := el.CPU.Core(0)
+	cpuRate := core.Model.Rate(nb, nb, nb, false) * 1e9
+	gpuRate := el.GPU.Model().Rate(nb, nb, nb) * 1e9
+	// The hybrid body runs the device half and all host cores concurrently;
+	// a balanced split joins at roughly the sum of the sides' rates.
+	hybRate := gpuRate + float64(el.CPU.NumCores())*cpuRate
+	return []taskgraph.RateSeed{
+		{Codelet: "lu.panel", Class: taskgraph.ClassCPU, Rate: GraphPanelGFLOPS * 1e9},
+		{Codelet: "lu.trsm", Class: taskgraph.ClassCPU, Rate: GraphTrsmGFLOPS * 1e9},
+		{Codelet: "lu.gemm", Class: taskgraph.ClassCPU, Rate: cpuRate},
+		{Codelet: "lu.gemm", Class: taskgraph.ClassGPU, Rate: gpuRate},
+		{Codelet: "lu.gemm", Class: taskgraph.ClassHyb, Rate: hybRate},
+	}
 }
 
 // GraphDgetrf factors a in place through the task graph runtime: the blocked
@@ -253,6 +309,10 @@ func GraphDgetrf(a *matrix.Dense, ipiv []int, el *element.Element, opts GraphOpt
 	nblocks := (n + opts.NB - 1) / opts.NB
 	errs := make([]error, nblocks)
 	g := BuildLUGraph(n, a, ipiv, el, errs, opts)
+	// Model-derived seeds follow any caller-provided ones; Seed is
+	// first-wins, so explicit priors (or a restored checkpoint's rates)
+	// still take precedence.
+	opts.Sched.RateSeeds = append(opts.Sched.RateSeeds, GraphRateSeeds(el, opts.NB)...)
 	sch := taskgraph.NewScheduler(el, opts.Sched)
 	rep, err := sch.Run(g, sim.Time(0))
 	if err != nil {

@@ -30,28 +30,32 @@ func TestGraphDgetrfMatchesMonolithic(t *testing.T) {
 
 	for _, depth := range []int{0, 1, 2, -1} {
 		for _, par := range []int{1, 8} {
-			got := a.Clone()
-			gotPiv := make([]int, n)
-			rep, err := GraphDgetrf(got, gotPiv, testElement(), GraphOptions{
-				NB:        nb,
-				Lookahead: depth,
-				Sched:     taskgraph.Options{Par: par},
-			})
-			if err != nil {
-				t.Fatalf("depth %d par %d: GraphDgetrf: %v", depth, par, err)
-			}
-			if !got.Equal(want) {
-				t.Errorf("depth %d par %d: graph factors differ from monolithic (max diff %g)",
-					depth, par, got.MaxDiff(want))
-			}
-			for i := range wantPiv {
-				if gotPiv[i] != wantPiv[i] {
-					t.Fatalf("depth %d par %d: pivot %d = %d, want %d", depth, par, i, gotPiv[i], wantPiv[i])
+			for _, hybrid := range []bool{false, true} {
+				got := a.Clone()
+				gotPiv := make([]int, n)
+				rep, err := GraphDgetrf(got, gotPiv, testElement(), GraphOptions{
+					NB:        nb,
+					Lookahead: depth,
+					Hybrid:    hybrid,
+					Sched:     taskgraph.Options{Par: par},
+				})
+				if err != nil {
+					t.Fatalf("depth %d par %d hybrid %v: GraphDgetrf: %v", depth, par, hybrid, err)
 				}
-			}
-			if rep.Tasks != len(rep.TaskSpans) || rep.Tasks == 0 {
-				t.Errorf("depth %d par %d: inconsistent report: %d tasks, %d spans",
-					depth, par, rep.Tasks, len(rep.TaskSpans))
+				if !got.Equal(want) {
+					t.Errorf("depth %d par %d hybrid %v: graph factors differ from monolithic (max diff %g)",
+						depth, par, hybrid, got.MaxDiff(want))
+				}
+				for i := range wantPiv {
+					if gotPiv[i] != wantPiv[i] {
+						t.Fatalf("depth %d par %d hybrid %v: pivot %d = %d, want %d",
+							depth, par, hybrid, i, gotPiv[i], wantPiv[i])
+					}
+				}
+				if rep.Tasks != len(rep.TaskSpans) || rep.Tasks == 0 {
+					t.Errorf("depth %d par %d hybrid %v: inconsistent report: %d tasks, %d spans",
+						depth, par, hybrid, rep.Tasks, len(rep.TaskSpans))
+				}
 			}
 		}
 	}
@@ -133,7 +137,7 @@ func TestGraphDgetrfRecoversUnderFaults(t *testing.T) {
 	}
 	horizon := rep.Seconds()
 
-	for _, scen := range []string{"lost-gpu", "sdc-single"} {
+	for _, scen := range []string{"lost-gpu", "sdc-single", "lost-gpu+sdc-single"} {
 		in, err := fault.NewScenario(scen, horizon, 99)
 		if err != nil {
 			t.Fatalf("scenario %s: %v", scen, err)
@@ -145,6 +149,7 @@ func TestGraphDgetrfRecoversUnderFaults(t *testing.T) {
 		frep, err := GraphDgetrf(got, gotPiv, el, GraphOptions{
 			NB:        nb,
 			Lookahead: 1,
+			Hybrid:    true,
 			Sched: taskgraph.Options{
 				GPUFallback:    true,
 				RewarmHalfLife: 4,

@@ -29,6 +29,7 @@ type Checkpoint struct {
 	// scheduler blends placements with, and the ABFT task counter that keys
 	// the SDC injector's per-task streams.
 	PanelAhead bool            `json:"panel_ahead,omitempty"`
+	PrepAhead  bool            `json:"prep_ahead,omitempty"`
 	Rates      json.RawMessage `json:"rates,omitempty"`
 	TaskSeq    int             `json:"task_seq,omitempty"`
 
@@ -66,6 +67,7 @@ func (s *Sim) Checkpoint() *Checkpoint {
 			panic(fmt.Sprintf("linpacksim: serializing affinity rates: %v", err))
 		}
 		cp.PanelAhead = s.panelAhead
+		cp.PrepAhead = s.prepAhead
 		cp.Rates = blob
 		cp.TaskSeq = s.gsched.TaskSeq()
 	}
@@ -98,6 +100,11 @@ func (cp *Checkpoint) checksum() uint64 {
 		word(math.Float64bits(f))
 	}
 	if cp.PanelAhead {
+		word(1)
+	} else {
+		word(0)
+	}
+	if cp.PrepAhead {
 		word(1)
 	} else {
 		word(0)
@@ -153,6 +160,7 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 			}
 		}
 		s.panelAhead = cp.PanelAhead
+		s.prepAhead = cp.PrepAhead
 		s.gsched.SetTaskSeq(cp.TaskSeq)
 	}
 	s.j, s.iters, s.t = cp.J, cp.Iterations, cp.T

@@ -83,6 +83,59 @@ func TestGraphLookaheadBeatsBulkSynchronous(t *testing.T) {
 	}
 }
 
+// TestGraphLookaheadDepthSaturates pins the depth-saturation property the
+// Config.Lookahead docs assert: in the per-iteration stepper, depth 2 must
+// schedule byte-identically to depth 1 — panel(k+2) reads tiles that only
+// exist as upd(k+1,·,·) outputs of the NEXT window, so only one panel can
+// ever be embedded ahead. This is a structural property of the windowed
+// graphs, not pipeline saturation (hpl.BuildLUGraph's whole-graph form
+// expresses deeper overlap). The depth-0 contrast keeps the assertion
+// non-vacuous: depth actually changes the schedule up to 1, then saturates.
+func TestGraphLookaheadDepthSaturates(t *testing.T) {
+	depth0 := Run(graphConfig(0))
+	depth1 := Run(graphConfig(1))
+	depth2 := Run(graphConfig(2))
+	if depth1.Seconds == depth0.Seconds {
+		t.Fatalf("depth 1 schedules identically to depth 0 (%v s) — look-ahead is dead", depth1.Seconds)
+	}
+	if depth2.Seconds != depth1.Seconds || depth2.GFLOPS != depth1.GFLOPS {
+		t.Fatalf("depth 2 (%v s, %v GFLOPS) differs from depth 1 (%v s, %v GFLOPS) — "+
+			"the per-iteration window should be unable to embed panel(k+2)",
+			depth2.Seconds, depth2.GFLOPS, depth1.Seconds, depth1.GFLOPS)
+	}
+}
+
+// TestGraphHybridClosesMonolithicGap is the tentpole acceptance at the Fig-8
+// problem size: graph look-ahead plus the hybrid codelet variant must meet or
+// beat the monolithic loop's intra-update split, closing the gap PR 8 left
+// (graph-d1 trailed monolithic by ~15% because every tile ran whole on one
+// device).
+func TestGraphHybridClosesMonolithicGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig-8 scale run")
+	}
+	base := Config{N: 46080, NB: 1216, Variant: element.ACMLGBoth, Seed: 2009}
+	mono := Run(base)
+
+	graph := base
+	graph.Graph = true
+	graph.Lookahead = 1
+	plain := Run(graph)
+
+	hyb := graph
+	hyb.GraphHybrid = true
+	res := Run(hyb)
+
+	if res.GFLOPS < mono.GFLOPS {
+		t.Fatalf("graph+hybrid %v GFLOPS below monolithic %v — gap not closed",
+			res.GFLOPS, mono.GFLOPS)
+	}
+	if res.GFLOPS <= plain.GFLOPS {
+		t.Fatalf("hybrid variants gained nothing over whole-tile graph: %v vs %v GFLOPS",
+			res.GFLOPS, plain.GFLOPS)
+	}
+}
+
 // TestGraphModeSDCRecovery runs the graph path through the sdc-single and
 // sdc-burst scenarios: detection stays total (every delivered strike is
 // caught at a task drain), localizable strikes recompute in place, and

@@ -33,6 +33,74 @@ const PanelRateGFLOPS = 18.0
 // operation running slightly below the straight DGEMM rate.
 const TrsmRateGFLOPS = 26.0
 
+// bandTiles is the column width, in nb-tiles, of one hybrid trailing-update
+// band: wide enough to amortize the kernel efficiency s-curve, narrow enough
+// that the band's read set (the whole L block plus the band's U tiles) stays
+// device-resident next to the scheduler's stream window.
+const bandTiles = 16
+
+// prepAheadCols bounds the look-ahead trsm preps: only the columns the next
+// graph consumes as soon as it opens — its col-0 band and first wide band —
+// must land before the iteration boundary. Preps for later bands run inside
+// the next graph itself, overlapped with the leading bands' compute.
+const prepAheadCols = bandTiles + 1
+
+// hybridBandWidth returns the width of the band starting at tile column c0
+// in the hybrid layout over nt tile columns: column block 0 alone (it feeds
+// the look-ahead panel), then bandTiles-wide bands — except that a remainder
+// shorter than half a band folds into the final band instead of trailing as
+// a sliver, because a one- or two-tile kernel sits on the wrong end of the
+// efficiency s-curve. The written tiles stream through the scheduler's
+// bounded window, so the widened final band costs no extra device memory.
+func hybridBandWidth(nt, c0 int) int {
+	if c0 == 0 {
+		return 1
+	}
+	if m := nt - 1; m < bandTiles+bandTiles/2 {
+		// Mid-size iterations: two balanced bands instead of one wide one.
+		// A single band would be the graph's last band, and the prep-ahead
+		// protocol stops short of the last band — one band per iteration
+		// would disable look-ahead preps entirely and reintroduce the serial
+		// prep head at every boundary. Two halves keep the first band's
+		// tiles available for the next iteration's ahead preps; below 8
+		// columns the halves fall off the efficiency s-curve faster than the
+		// prep head costs, so the columns ride as one band.
+		if m < bandTiles/2 {
+			return m
+		}
+		if c0 == 1 {
+			return (m + 1) / 2
+		}
+		return nt - c0
+	}
+	if rem := nt - c0; rem < bandTiles+bandTiles/2 {
+		return rem
+	}
+	return bandTiles
+}
+
+// hybridLastBandStart returns the starting column of the final band in the
+// hybrid layout over nt tile columns. Look-ahead preps reading a tile this
+// band writes would only become ready at the very end of the graph and
+// serialize the iteration boundary, so the ahead set stops short of it on
+// both sides of the handoff.
+func hybridLastBandStart(nt int) int {
+	if nt <= 1 {
+		return 0
+	}
+	if m := nt - 1; m < bandTiles+bandTiles/2 {
+		if m < bandTiles/2 {
+			return 1
+		}
+		return 1 + (m+1)/2
+	}
+	c0 := 1
+	for nt-c0 >= bandTiles+bandTiles/2 {
+		c0 += bandTiles
+	}
+	return c0
+}
+
 // Config describes one simulated Linpack run.
 type Config struct {
 	// N is the problem order and NB the blocking factor. NB <= 0 selects the
@@ -101,7 +169,22 @@ type Config struct {
 	// lets it overlap this iteration's update as soon as its own column is
 	// up to date — HPL's classic look-ahead, here emerging from dataflow
 	// dependencies instead of hand-rolled slot management.
+	//
+	// Depths beyond 1 are accepted but provably saturate at 1 in this
+	// stepper: each Step builds a one-iteration graph window, and panel(k+2)
+	// reads tiles that only come into existence as upd(k+1,·,·) outputs of
+	// the NEXT window — it is structurally inexpressible here, so depth 2
+	// schedules byte-identically to depth 1
+	// (TestGraphLookaheadDepthSaturates pins this). hpl.BuildLUGraph's
+	// whole-graph form expresses arbitrary depth.
 	Lookahead int
+	// GraphHybrid arms the graph mode's trailing-update tasks with the split
+	// CPU+GPU body: each upd task may divide its rows between the device and
+	// the host cores by the adaptive GSplit (the partitioner is the split
+	// oracle, exactly as in the monolithic loop), and the scheduler picks
+	// per task among cpu, gpu, and hybrid by earliest predicted finish.
+	// Requires Graph and an adaptive (GPU-using) variant; ignored otherwise.
+	GraphHybrid bool
 }
 
 // Result reports one simulated run.
@@ -190,6 +273,11 @@ type Sim struct {
 	// iteration's graph (look-ahead), so the next Step must not rebook it.
 	gsched     *taskgraph.Scheduler
 	panelAhead bool
+	// prepAhead marks that the next iteration's U-prep (trsm) tasks already
+	// ran inside the previous iteration's graph (hybrid band mode books them
+	// as each column band lands, filling the cores' post-slab idle windows),
+	// so the next Step must not rebook them.
+	prepAhead bool
 }
 
 // NewSim builds the element, partitioner and runner for one run, positioned
@@ -246,9 +334,44 @@ func NewSim(cfg Config) *Sim {
 			SDC:            cfg.SDC,
 			GPUFallback:    cfg.Variant.Adaptive(),
 			RewarmHalfLife: 8,
+			RateSeeds:      s.graphRateSeeds(nb),
 		})
+		// The monolithic pipeline's convention is that each iteration's
+		// host-side factor+prep overlaps the update it feeds — including
+		// the very first, whose panel factors while problem setup (matrix
+		// generation) completes. Graph mode reproduces that convention at
+		// the pipeline head: with look-ahead the first panel (and in band
+		// mode, the leading U-preps) count as setup work, so graph 0 opens
+		// the same way every later graph does — against an already-factored
+		// panel. Without look-ahead every panel is serial, the bulk-
+		// synchronous behavior depth 0 exists to show.
+		if cfg.Lookahead >= 1 {
+			s.panelAhead = true
+			s.prepAhead = cfg.GraphHybrid && cfg.Variant.UsesGPU() && part != nil
+		}
 	}
 	return s
+}
+
+// graphRateSeeds returns the perfmodel-derived cold-start priors for the
+// graph mode's codelets at blocking nb, so the first iteration's placements
+// rank variants by the model instead of an optimistic default (a checkpoint
+// restore overwrites the whole database, so restored rates still win).
+func (s *Sim) graphRateSeeds(nb int) []taskgraph.RateSeed {
+	cpuRate := s.el.CPU.Core(0).Model.Rate(nb, nb, nb, true) * 1e9
+	seeds := []taskgraph.RateSeed{
+		{Codelet: "lu.panel", Class: taskgraph.ClassCPU, Rate: PanelRateGFLOPS * 1e9},
+		{Codelet: "lu.trsm", Class: taskgraph.ClassCPU, Rate: TrsmRateGFLOPS * 1e9},
+		{Codelet: "lu.gemm", Class: taskgraph.ClassCPU, Rate: cpuRate},
+	}
+	if s.cfg.Variant.UsesGPU() {
+		gpuRate := s.el.GPU.Model().Rate(nb, nb, nb) * 1e9
+		seeds = append(seeds,
+			taskgraph.RateSeed{Codelet: "lu.gemm", Class: taskgraph.ClassGPU, Rate: gpuRate},
+			taskgraph.RateSeed{Codelet: "lu.gemm", Class: taskgraph.ClassHyb,
+				Rate: gpuRate + float64(s.el.CPU.NumCores())*cpuRate})
+	}
+	return seeds
 }
 
 // Done reports whether every column has been factored.
@@ -374,7 +497,19 @@ func (s *Sim) stepGraph(j, jb, trailing int) {
 		addPanel(fmt.Sprintf("panel(%d)", k), trailing+jb, jb, accs)
 	}
 
-	for c := 0; c < nt; c++ {
+	// Columns whose trsm prep the previous graph already ran (look-ahead
+	// preps): only the head of the band sequence — the columns the first
+	// bands consume as soon as the graph opens. Preps for later bands run
+	// in this graph, overlapped with the leading bands' compute, so they
+	// never serialize at the previous iteration's boundary.
+	prepDone := 0
+	if s.prepAhead {
+		// Mirrors the ahead-set bound the previous graph used (its tile count
+		// was nt+1), so the two graphs agree on the handoff without any state
+		// beyond the flag.
+		prepDone = max(0, min(nt, prepAheadCols, hybridLastBandStart(nt+1)-1))
+	}
+	for c := prepDone; c < nt; c++ {
 		cw := tw(c)
 		flops := float64(jb) * float64(jb) * float64(cw)
 		g.Add(&taskgraph.Task{
@@ -386,41 +521,138 @@ func (s *Sim) stepGraph(j, jb, trailing int) {
 			},
 		})
 	}
-	for c := 0; c < nt; c++ {
-		cw := tw(c)
-		for r := 0; r < nt; r++ {
-			rh := tw(r)
-			costs := taskgraph.Costs{
-				CPUSeconds: func() float64 { return s.el.CPU.Core(0).Seconds(rh, cw, jb, true) },
+	hybridMode := s.cfg.GraphHybrid && gpuVariant && s.part != nil
+	if !hybridMode {
+		for c := 0; c < nt; c++ {
+			cw := tw(c)
+			for r := 0; r < nt; r++ {
+				rh := tw(r)
+				costs := taskgraph.Costs{
+					CPUSeconds: func() float64 { return s.el.CPU.Core(0).Seconds(rh, cw, jb, true) },
+				}
+				if gpuVariant {
+					costs.GPUSeconds = func() float64 { return s.el.GPU.Model().KernelSeconds(rh, cw, jb) }
+				}
+				g.Add(&taskgraph.Task{
+					Name: fmt.Sprintf("upd(%d,%d,%d)", k, r, c), Codelet: "lu.gemm",
+					Flops: 2 * float64(rh) * float64(cw) * float64(jb),
+					Shape: [3]int{rh, cw, jb},
+					Costs: costs,
+					Accesses: []taskgraph.Access{
+						{H: ls[r], Mode: taskgraph.Read},
+						{H: us[c], Mode: taskgraph.Read},
+						{H: ts[r][c], Mode: taskgraph.ReadWrite},
+					},
+				})
 			}
-			if gpuVariant {
-				costs.GPUSeconds = func() float64 { return s.el.GPU.Model().KernelSeconds(rh, cw, jb) }
+		}
+	} else {
+		// Hybrid shape: the trailing update as column bands instead of an
+		// nt x nt tile grid. Column block 0 rides alone (and first) so the
+		// look-ahead panel becomes ready as early as possible; the rest
+		// merge into wide bands whose kernels amortize the efficiency
+		// s-curve the way the monolithic pipeline's big tiles do — per-tile
+		// kernels cap the device ~15% below its wide-kernel rate, which is
+		// exactly the gap this variant closes. Each band splits its rows
+		// between the device and the host cores by the adaptive GSplit;
+		// the band's written tiles stream through the scheduler's bounded
+		// window, so device memory never bounds the band width.
+		for c0 := 0; c0 < nt; {
+			w := hybridBandWidth(nt, c0)
+			bandN := 0
+			for c := c0; c < c0+w; c++ {
+				bandN += tw(c)
+			}
+			accs := make([]taskgraph.Access, 0, nt+w+nt*w)
+			for r := 0; r < nt; r++ {
+				accs = append(accs, taskgraph.Access{H: ls[r], Mode: taskgraph.Read})
+			}
+			for c := c0; c < c0+w; c++ {
+				accs = append(accs, taskgraph.Access{H: us[c], Mode: taskgraph.Read})
+			}
+			for c := c0; c < c0+w; c++ {
+				for r := 0; r < nt; r++ {
+					accs = append(accs, taskgraph.Access{H: ts[r][c], Mode: taskgraph.ReadWrite})
+				}
+			}
+			part, rows, bn := s.part, trailing, bandN
+			flops := 2 * float64(rows) * float64(bn) * float64(jb)
+			pri := 0
+			if c0 == 0 {
+				pri = 1 // feeds the look-ahead panel
 			}
 			g.Add(&taskgraph.Task{
-				Name: fmt.Sprintf("upd(%d,%d,%d)", k, r, c), Codelet: "lu.gemm",
-				Flops: 2 * float64(rh) * float64(cw) * float64(jb),
-				Shape: [3]int{rh, cw, jb},
-				Costs: costs,
-				Accesses: []taskgraph.Access{
-					{H: ls[r], Mode: taskgraph.Read},
-					{H: us[c], Mode: taskgraph.Read},
-					{H: ts[r][c], Mode: taskgraph.ReadWrite},
+				Name: fmt.Sprintf("upd(%d,%d:%d)", k, c0, c0+w), Codelet: "lu.gemm",
+				Flops: flops, Shape: [3]int{rows, bn, jb}, Priority: pri,
+				Costs: taskgraph.Costs{
+					CPUSeconds: func() float64 { return s.el.CPU.Core(0).Seconds(rows, bn, jb, true) },
+					GPUSeconds: func() float64 { return s.el.GPU.Model().KernelSeconds(rows, bn, jb) },
+				},
+				Accesses: accs,
+				Hybrid: &taskgraph.Hybrid{
+					Rows:       rows,
+					Split:      func() float64 { return part.GSplit(flops) },
+					GPUSeconds: func(r int) float64 { return s.el.GPU.Model().KernelSeconds(r, bn, jb) },
+					CPUSeconds: func(r int) float64 { return s.el.CPU.Core(0).Seconds(r, bn, jb, true) },
+					CSplits:    part.CSplits,
+					FillSkew:   true,
+					Observe: func(gsplit, tg, tc float64, coreWorks, coreTimes []float64) {
+						part.Observe(adaptive.Observation{Work: flops, GSplit: gsplit, TG: tg, TC: tc,
+							CoreWorks: coreWorks, CoreTimes: coreTimes})
+					},
 				},
 			})
+			c0 += w
 		}
 	}
 
 	s.panelAhead = false
+	s.prepAhead = false
 	if s.cfg.Lookahead >= 1 && trailing > 0 {
 		// The next panel factors column block 0 of the updated trailing
 		// matrix: its ReadWrite accesses make it ready the moment upd(·,·,0)
 		// finishes, so it overlaps the remaining column blocks' updates.
-		accs := make([]taskgraph.Access, 0, nt)
+		accs := make([]taskgraph.Access, 0, nt+1)
 		for r := 0; r < nt; r++ {
 			accs = append(accs, taskgraph.Access{H: ts[r][0], Mode: taskgraph.ReadWrite})
 		}
-		addPanel(fmt.Sprintf("panel(%d)", k+1), trailing, min(s.nb, trailing), accs)
+		jbNext := min(s.nb, trailing)
+		trailingNext := trailing - jbNext
+		// In band mode the next iteration's leading U-preps ride along too
+		// (the prepAheadCols columns its first bands consume at open): each
+		// becomes ready the moment the band holding its column lands, so the
+		// cores fill their post-slab idle windows with them and the device
+		// starts the next iteration's bands without the prep stall that
+		// otherwise serializes every iteration boundary.
+		prepNext := hybridMode && trailingNext > 0 && nt >= 2
+		var piv2 *taskgraph.Handle
+		if prepNext {
+			piv2 = g.NewHandle("piv'", 8*int64(jbNext))
+			accs = append(accs, taskgraph.Access{H: piv2, Mode: taskgraph.Write})
+		}
+		addPanel(fmt.Sprintf("panel(%d)", k+1), trailing, jbNext, accs)
 		s.panelAhead = true
+		if prepNext {
+			ntNext := (trailingNext + s.nb - 1) / s.nb
+			twNext := func(i int) int { return min(s.nb, trailingNext-i*s.nb) }
+			aheadN := max(0, min(ntNext, prepAheadCols, hybridLastBandStart(nt)-1))
+			for c := 0; c < aheadN; c++ {
+				cw := twNext(c)
+				flops := float64(jbNext) * float64(jbNext) * float64(cw)
+				g.Add(&taskgraph.Task{
+					Name: fmt.Sprintf("prep(%d,%d)", k+1, c), Codelet: "lu.trsm", Flops: flops, Priority: 2,
+					Costs: taskgraph.Costs{CPUSeconds: func() float64 { return flops / (TrsmRateGFLOPS * 1e9) }},
+					Accesses: []taskgraph.Access{
+						{H: piv2, Mode: taskgraph.Read},
+						// The column's top tile after this iteration's
+						// update — the data the next trsm solves against.
+						{H: ts[1][c+1], Mode: taskgraph.Read},
+						{H: g.NewHandle(fmt.Sprintf("u'(%d)", c), 8*int64(jbNext)*int64(cw)), Mode: taskgraph.Write},
+					},
+				})
+			}
+			s.prepAhead = true
+		}
 	}
 
 	if g.Len() == 0 {

@@ -13,6 +13,7 @@ package stencil
 import (
 	"fmt"
 
+	"tianhe/internal/adaptive"
 	"tianhe/internal/element"
 	"tianhe/internal/sim"
 	"tianhe/internal/taskgraph"
@@ -44,6 +45,12 @@ type Config struct {
 	// Alpha is the diffusion coefficient; 0 selects 1/8 (stable for the
 	// 7-point operator).
 	Alpha float64
+	// Hybrid arms slab tasks with the split CPU+GPU body: a slab's XY-rows
+	// divide between the device and the host cores by an adaptive GSplit
+	// learned per slab size, the same oracle the LU trailing update uses.
+	// The scheduler still chooses per task among cpu, gpu, and hybrid by
+	// earliest predicted finish.
+	Hybrid bool
 	// Seed drives the deterministic initial condition.
 	Seed uint64
 }
@@ -72,6 +79,9 @@ func (c Config) Flops() float64 { return flopsPerCell * float64(c.points()) * fl
 type Sweep struct {
 	cfg Config
 	buf [2][]float64 // nil in virtual mode
+	// part is the hybrid split oracle, built on first Run (it needs the
+	// element's core count); nil leaves slab tasks whole-device.
+	part adaptive.Partitioner
 }
 
 // New builds a real sweep: buffers allocated and filled with the
@@ -174,6 +184,31 @@ func (s *Sweep) Graph() *taskgraph.Graph {
 				},
 				Accesses: accs,
 			}
+			if s.part != nil {
+				// The splittable extent is the slab's XY-rows: the written
+				// slab divides cleanly along Y×Z, each row carrying NX cells.
+				// CSplits stays nil — the memory-bound kernel runs at the
+				// same streaming rate on every core, so equal shares are
+				// already balanced.
+				rows := cfg.NY * depth(b)
+				rowFlops := flopsPerCell * float64(cfg.NX)
+				task.Hybrid = &taskgraph.Hybrid{
+					Rows:       rows,
+					Split:      func() float64 { return s.part.GSplit(flops) },
+					GPUSeconds: func(r int) float64 { return rowFlops * float64(r) / (GPUStencilGFLOPS * 1e9) },
+					CPUSeconds: func(r int) float64 { return rowFlops * float64(r) / (CPUStencilGFLOPS * 1e9) },
+					// The halo reads divide with the written rows — the device
+					// half needs its row share plus a halo sliver, which the
+					// row fraction already bounds — so the upload scales with
+					// the split instead of shipping three whole slabs.
+					SplitReads: true,
+					FillSkew:   true,
+					Observe: func(gsplit, tg, tc float64, coreWorks, coreTimes []float64) {
+						s.part.Observe(adaptive.Observation{Work: flops, GSplit: gsplit, TG: tg, TC: tc,
+							CoreWorks: coreWorks, CoreTimes: coreTimes})
+					},
+				}
+			}
 			if s.buf[0] != nil {
 				in, out := s.buf[p], s.buf[1-p]
 				task.Run = func() { s.updateSlab(in, out, z0, z1) }
@@ -187,6 +222,13 @@ func (s *Sweep) Graph() *taskgraph.Graph {
 // Run schedules the sweep on the element and, for real sweeps, executes the
 // slab bodies.
 func (s *Sweep) Run(el *element.Element, opts taskgraph.Options) (taskgraph.Report, error) {
+	if s.cfg.Hybrid && s.part == nil {
+		// Bucket splits by slab work; the GEMM-derived initial ratio is only
+		// the prior — the oracle converges to the bandwidth ratio the
+		// memory-bound kernel actually exhibits.
+		maxWork := flopsPerCell * float64(s.cfg.NX) * float64(s.cfg.NY) * float64(s.cfg.BlockZ)
+		s.part = adaptive.NewAdaptive(64, maxWork, el.InitialGSplit(), el.CPU.NumCores())
+	}
 	sch := taskgraph.NewScheduler(el, opts)
 	rep, err := sch.Run(s.Graph(), 0)
 	if err != nil {

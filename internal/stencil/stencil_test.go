@@ -114,6 +114,50 @@ func TestVirtualFig8Scale(t *testing.T) {
 	}
 }
 
+// TestHybridSlabsSplitAndMatchReference: with the hybrid body armed, some
+// slab tasks split across both devices, the makespan does not regress against
+// whole-device placement, and the arithmetic stays bit-identical to the
+// serial reference (a hybrid booking is a timing decision, not a different
+// body).
+func TestHybridSlabsSplitAndMatchReference(t *testing.T) {
+	cfg := Config{NX: 96, NY: 96, NZ: 96, Steps: 4, BlockZ: 8, Seed: 1}
+	whole := NewVirtual(cfg)
+	base, err := whole.Run(testElement(42), taskgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hybrid = true
+	hyb := NewVirtual(cfg)
+	rep, err := hyb.Run(testElement(42), taskgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksHyb == 0 {
+		t.Error("no slab task ever ran its hybrid body")
+	}
+	if rep.End > base.End {
+		t.Errorf("hybrid makespan %.4fs regressed against whole-device %.4fs",
+			rep.Seconds(), base.Seconds())
+	}
+
+	rcfg := testConfig()
+	want := Reference(rcfg)
+	rcfg.Hybrid = true
+	for _, par := range []int{1, 8} {
+		s := New(rcfg)
+		if _, err := s.Run(testElement(42), taskgraph.Options{Par: par}); err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		got := s.Result()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("par %d: cell %d = %v, want %v — the hybrid split changed the arithmetic",
+					par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestSweepRecoversFromGPULoss: the sweep degrades to the CPU cores during a
 // context loss and still produces the reference answer.
 func TestSweepRecoversFromGPULoss(t *testing.T) {

@@ -70,6 +70,62 @@ type Costs struct {
 	GPUSeconds func() float64
 }
 
+// Hybrid is the optional third implementation of a codelet: a body that
+// splits the task's row extent across the GPU and the host cores by the
+// adaptive GSplit, exactly the way the monolithic hybrid runner slab-splits a
+// trailing update (level 1 GPU/CPU split, level 2 per-core split). The
+// scheduler treats it as a placement candidate alongside the whole-CPU and
+// whole-GPU bodies and books both halves: the device gets round(Rows*Split())
+// rows, the host cores share the rest. Data semantics follow the row split —
+// read handles are needed whole on both sides, written handles are split, the
+// device's rows streaming back at the join so the host copy stays
+// authoritative. The real host body (Task.Run) is unchanged: like every
+// placement, a hybrid booking is a timing decision, so factors stay
+// bit-identical whichever variant wins.
+type Hybrid struct {
+	// Rows is the splittable extent — the written tile's row count. Must be
+	// positive.
+	Rows int
+	// Split returns the current GPU fraction from the split oracle
+	// (adaptive database_g, keyed by this task's work bucket). Fractions
+	// that round to 0 or Rows rows degrade the candidate to the pure CPU or
+	// GPU body.
+	Split func() float64
+	// GPUSeconds models the kernel duration of a rows-high device half.
+	GPUSeconds func(rows int) float64
+	// CPUSeconds models the duration of a rows-high slab on one host core.
+	CPUSeconds func(rows int) float64
+	// CSplits returns the per-core share vector for the host half (adaptive
+	// database_c); nil means equal shares across the element's cores.
+	CSplits func() []float64
+	// SplitReads declares the task's read handles row-local: the device half
+	// needs only its row share of each read, not the whole handle. GEMM-class
+	// codelets leave it false (the k-panels are needed whole on both sides);
+	// stencil-class operators whose reads divide with the written rows set it
+	// so the device half's upload scales with its share. Row shares are
+	// transient occupancy — partial copies are never registered resident.
+	SplitReads bool
+	// FillSkew lets the scheduler top the host share up with the rows the
+	// cores can absorb before the device half's projected join: core slabs
+	// start the moment their data is ready, while the kernel waits behind the
+	// queue and the upload gate, so a duration-balanced split would leave the
+	// cores idle at the join. The monolithic pipeline's chunk overlap hides
+	// the same skew; graph tasks opt in because the refinement moves rows
+	// away from the oracle's split.
+	FillSkew bool
+	// Observe feeds the measured halves back to the split oracle after the
+	// join: gsplit is the row fraction actually placed on the device, tg
+	// and tc the per-side intrinsic durations (device half compute- or
+	// stream-bound, tc the slowest core slab scaled by the fraction of
+	// cores that participated, so the oracle's P_C always describes the
+	// whole element's CPU capacity). coreWorks and coreTimes
+	// carry the level-2 feedback — the flops assigned to and time taken by
+	// each host core, zero for cores that sat the split out — so the
+	// adaptive database_c can rebalance the host shares. nil disables
+	// feedback.
+	Observe func(gsplit, tg, tc float64, coreWorks, coreTimes []float64)
+}
+
 // Task is one node of the graph.
 type Task struct {
 	// Name labels the task in traces; unique within a graph.
@@ -89,6 +145,11 @@ type Task struct {
 	Priority int
 	// Costs are the per-device model durations.
 	Costs Costs
+	// Hybrid, when non-nil, adds the split CPU+GPU implementation as a third
+	// placement candidate. Hybrid tasks must declare both single-device
+	// costs: the CPU body is the lost-GPU degradation path, the GPU body the
+	// degenerate split.
+	Hybrid *Hybrid
 	// Run is the optional real-arithmetic host body. Bodies of concurrent
 	// tasks must write only their declared Write/ReadWrite handles' data, so
 	// parallel execution stays bit-identical to serial.
@@ -149,6 +210,14 @@ func (g *Graph) Len() int { return len(g.tasks) }
 func (g *Graph) Add(t *Task) *Task {
 	if t.Costs.CPUSeconds == nil && t.Costs.GPUSeconds == nil {
 		panic(fmt.Sprintf("taskgraph: task %q has no device variant", t.Name))
+	}
+	if h := t.Hybrid; h != nil {
+		if t.Costs.CPUSeconds == nil || t.Costs.GPUSeconds == nil {
+			panic(fmt.Sprintf("taskgraph: hybrid task %q must declare both single-device bodies", t.Name))
+		}
+		if h.Rows <= 0 || h.Split == nil || h.GPUSeconds == nil || h.CPUSeconds == nil {
+			panic(fmt.Sprintf("taskgraph: hybrid task %q has an incomplete hybrid descriptor", t.Name))
+		}
 	}
 	t.id = len(g.tasks)
 	seen := map[int]bool{}

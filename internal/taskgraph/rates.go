@@ -14,7 +14,40 @@ const rateAlpha = 0.25
 // rate and the model estimate equally (trust = n/(n+rateWarm)).
 const rateWarm = 3.0
 
-// deviceRate is one (codelet, device) cell: an EWMA of measured flops/second
+// Class names one implementation variant of a codelet: the CPU body, the GPU
+// body, or the hybrid body that splits one task across both. Each class has
+// its own measured-rate cell per codelet, because the three run at genuinely
+// different effective rates (the hybrid join rate is neither side's rate).
+type Class uint8
+
+const (
+	// ClassCPU is the single-core host implementation.
+	ClassCPU Class = iota
+	// ClassGPU is the whole-task device implementation.
+	ClassGPU
+	// ClassHyb is the split implementation: GSplit rows on the device, the
+	// rest across the host cores, joined at the slower side.
+	ClassHyb
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCPU:
+		return "cpu"
+	case ClassGPU:
+		return "gpu"
+	case ClassHyb:
+		return "hyb"
+	}
+	return "?"
+}
+
+// device reports whether the class needs live GPU hardware: device classes
+// are quarantined together during an outage and re-warm together after it.
+func (c Class) device() bool { return c != ClassCPU }
+
+// deviceRate is one (codelet, class) cell: an EWMA of measured flops/second
 // plus the observation count that drives the trust blend.
 type deviceRate struct {
 	Rate  float64 `json:"rate"`
@@ -22,19 +55,18 @@ type deviceRate struct {
 }
 
 // RateDB is the affinity database: per-codelet measured execution rates for
-// the CPU and GPU variants, learned the same way database_g learns splits —
-// EWMA refresh after every execution, trust-blended against the static model
-// while warming, quarantined during a device outage and re-warmed with a
-// configurable half-life after recovery.
+// the CPU, GPU, and hybrid variants, learned the same way database_g learns
+// splits — EWMA refresh after every execution, trust-blended against the
+// static model while warming, quarantined during a device outage and
+// re-warmed with a configurable half-life after recovery.
 type RateDB struct {
-	mu  sync.Mutex
-	cpu map[string]*deviceRate
-	gpu map[string]*deviceRate
+	mu    sync.Mutex
+	cells [numClasses]map[string]*deviceRate
 
 	// GPU fault-resilience state, mirroring adaptive.DatabaseG: while
-	// quarantined, GPU observations are discarded (they describe lost
-	// hardware); after Rewarm, GPU estimates blend back from the model toward
-	// the learned rate as trust recovers.
+	// quarantined, device-class observations (GPU and hybrid — both describe
+	// lost hardware) are discarded; after Rewarm, device estimates blend back
+	// from the model toward the learned rate as trust recovers.
 	quarantined bool
 	warming     bool
 	trust       float64
@@ -43,17 +75,22 @@ type RateDB struct {
 
 // NewRateDB returns an empty affinity database.
 func NewRateDB() *RateDB {
-	return &RateDB{
-		cpu: make(map[string]*deviceRate),
-		gpu: make(map[string]*deviceRate),
+	db := &RateDB{}
+	for c := range db.cells {
+		db.cells[c] = make(map[string]*deviceRate)
 	}
+	return db
 }
 
-func (db *RateDB) cell(gpu bool, codelet string) *deviceRate {
-	m := db.cpu
+func classOf(gpu bool) Class {
 	if gpu {
-		m = db.gpu
+		return ClassGPU
 	}
+	return ClassCPU
+}
+
+func (db *RateDB) cell(cls Class, codelet string) *deviceRate {
+	m := db.cells[cls]
 	r, ok := m[codelet]
 	if !ok {
 		r = &deviceRate{}
@@ -62,20 +99,26 @@ func (db *RateDB) cell(gpu bool, codelet string) *deviceRate {
 	return r
 }
 
-// Observe feeds one measured execution back: flops of work finished in
-// seconds on the given device. Non-finite or non-positive measurements are
-// discarded, as are GPU observations while quarantined.
+// Observe feeds one measured execution of the CPU or GPU variant back; the
+// two-device form predates the hybrid class and forwards to ObserveClass.
 func (db *RateDB) Observe(codelet string, gpu bool, flops, seconds float64) {
+	db.ObserveClass(codelet, classOf(gpu), flops, seconds)
+}
+
+// ObserveClass feeds one measured execution back: flops of work finished in
+// seconds by the given variant class. Non-finite or non-positive measurements
+// are discarded, as are device-class observations while quarantined.
+func (db *RateDB) ObserveClass(codelet string, cls Class, flops, seconds float64) {
 	if flops <= 0 || seconds <= 0 || math.IsInf(flops, 1) || math.IsInf(seconds, 1) ||
 		math.IsNaN(flops) || math.IsNaN(seconds) {
 		return
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if gpu && db.quarantined {
+	if cls.device() && db.quarantined {
 		return
 	}
-	r := db.cell(gpu, codelet)
+	r := db.cell(cls, codelet)
 	rate := flops / seconds
 	if r.Count == 0 {
 		r.Rate = rate
@@ -83,7 +126,7 @@ func (db *RateDB) Observe(codelet string, gpu bool, flops, seconds float64) {
 		r.Rate += rateAlpha * (rate - r.Rate)
 	}
 	r.Count++
-	if gpu && db.warming {
+	if cls.device() && db.warming {
 		db.trust = 1 - (1-db.trust)*db.decay
 		if db.trust > 0.999 {
 			db.warming = false
@@ -91,49 +134,71 @@ func (db *RateDB) Observe(codelet string, gpu bool, flops, seconds float64) {
 	}
 }
 
-// Estimate predicts the duration of flops of work for the codelet on the
-// given device, blending the static model estimate with the measured rate by
-// trust w = n/(n+warm): a cold database answers the model exactly, a warm one
-// the measurement. During a GPU re-warm the measured contribution is further
-// scaled by the recovering trust.
-func (db *RateDB) Estimate(codelet string, gpu bool, flops, modelSeconds float64) float64 {
+// Seed plants a model-derived rate into an empty (codelet, class) cell with
+// the weight of a single observation, so the first placements of a run blend
+// the perfmodel prediction instead of swinging on whatever the first jittered
+// measurement happened to be. Cells that already hold a measurement — or a
+// previous seed — are left alone, and a non-positive rate is ignored.
+func (db *RateDB) Seed(codelet string, cls Class, rate float64) {
+	if rate <= 0 || math.IsInf(rate, 1) || math.IsNaN(rate) {
+		return
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	m := db.cpu
-	if gpu {
-		m = db.gpu
+	r := db.cell(cls, codelet)
+	if r.Count > 0 {
+		return
 	}
-	r, ok := m[codelet]
+	r.Rate = rate
+	r.Count = 1
+}
+
+// Estimate predicts the duration of flops of work for the codelet on the
+// given device; the two-device form forwards to EstimateClass.
+func (db *RateDB) Estimate(codelet string, gpu bool, flops, modelSeconds float64) float64 {
+	return db.EstimateClass(codelet, classOf(gpu), flops, modelSeconds)
+}
+
+// EstimateClass predicts the duration of flops of work for the codelet's
+// given variant class, blending the static model estimate with the measured
+// rate by trust w = n/(n+warm): a cold database answers the model exactly, a
+// warm one the measurement. During a device re-warm the measured contribution
+// of the GPU and hybrid classes is further scaled by the recovering trust.
+func (db *RateDB) EstimateClass(codelet string, cls Class, flops, modelSeconds float64) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.cells[cls][codelet]
 	if !ok || r.Count == 0 || r.Rate <= 0 || flops <= 0 {
 		return modelSeconds
 	}
 	w := r.Count / (r.Count + rateWarm)
-	if gpu && db.warming {
+	if cls.device() && db.warming {
 		w *= db.trust
 	}
 	return (1-w)*modelSeconds + w*flops/r.Rate
 }
 
-// Quarantine freezes the GPU side during a device outage: estimates keep
+// Quarantine freezes the device classes during an outage: estimates keep
 // answering (the scheduler still ranks the CPU fallback against the model),
-// but GPU observations are discarded until Rewarm.
+// but GPU and hybrid observations are discarded until Rewarm.
 func (db *RateDB) Quarantine() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.quarantined = true
 }
 
-// Quarantined reports whether GPU observations are currently discarded.
+// Quarantined reports whether device-class observations are currently
+// discarded.
 func (db *RateDB) Quarantined() bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.quarantined
 }
 
-// Rewarm lifts a quarantine after device recovery: GPU trust drops to zero
-// so estimates restart from the model, and each subsequent observation
-// halves the remaining distrust every halfLife observations. halfLife <= 0
-// restores full trust immediately.
+// Rewarm lifts a quarantine after device recovery: device-class trust drops
+// to zero so estimates restart from the model, and each subsequent
+// observation halves the remaining distrust every halfLife observations.
+// halfLife <= 0 restores full trust immediately.
 func (db *RateDB) Rewarm(halfLife float64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -151,6 +216,7 @@ func (db *RateDB) Rewarm(halfLife float64) {
 type rateDBJSON struct {
 	CPU map[string]deviceRate `json:"cpu"`
 	GPU map[string]deviceRate `json:"gpu"`
+	Hyb map[string]deviceRate `json:"hyb"`
 }
 
 // MarshalJSON serializes the learned rates (resilience state is never
@@ -159,17 +225,25 @@ type rateDBJSON struct {
 func (db *RateDB) MarshalJSON() ([]byte, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	j := rateDBJSON{CPU: map[string]deviceRate{}, GPU: map[string]deviceRate{}}
-	for k, v := range db.cpu {
-		j.CPU[k] = *v
+	j := rateDBJSON{
+		CPU: map[string]deviceRate{},
+		GPU: map[string]deviceRate{},
+		Hyb: map[string]deviceRate{},
 	}
-	for k, v := range db.gpu {
-		j.GPU[k] = *v
+	for _, p := range []struct {
+		cls Class
+		dst map[string]deviceRate
+	}{{ClassCPU, j.CPU}, {ClassGPU, j.GPU}, {ClassHyb, j.Hyb}} {
+		for k, v := range db.cells[p.cls] {
+			p.dst[k] = *v
+		}
 	}
 	return json.Marshal(j)
 }
 
 // UnmarshalJSON restores a serialized database as a fresh healthy state.
+// Databases saved before the hybrid class simply restore with no hybrid
+// rates.
 func (db *RateDB) UnmarshalJSON(b []byte) error {
 	var j rateDBJSON
 	if err := json.Unmarshal(b, &j); err != nil {
@@ -177,15 +251,15 @@ func (db *RateDB) UnmarshalJSON(b []byte) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.cpu = make(map[string]*deviceRate, len(j.CPU))
-	db.gpu = make(map[string]*deviceRate, len(j.GPU))
-	for k, v := range j.CPU {
-		c := v
-		db.cpu[k] = &c
-	}
-	for k, v := range j.GPU {
-		c := v
-		db.gpu[k] = &c
+	for _, p := range []struct {
+		cls Class
+		src map[string]deviceRate
+	}{{ClassCPU, j.CPU}, {ClassGPU, j.GPU}, {ClassHyb, j.Hyb}} {
+		db.cells[p.cls] = make(map[string]*deviceRate, len(p.src))
+		for k, v := range p.src {
+			c := v
+			db.cells[p.cls][k] = &c
+		}
 	}
 	db.quarantined = false
 	db.warming = false
@@ -200,11 +274,10 @@ func (db *RateDB) Codelets() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	seen := map[string]bool{}
-	for k := range db.cpu {
-		seen[k] = true
-	}
-	for k := range db.gpu {
-		seen[k] = true
+	for _, m := range db.cells {
+		for k := range m {
+			seen[k] = true
+		}
 	}
 	out := make([]string, 0, len(seen))
 	for k := range seen {

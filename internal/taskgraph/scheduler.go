@@ -3,6 +3,7 @@ package taskgraph
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -35,6 +36,12 @@ type Options struct {
 	// like every fault-unaware runtime.
 	GPUFallback    bool
 	RewarmHalfLife float64
+	// RateSeeds plants perfmodel-derived rates into the affinity database's
+	// empty cells before the first placement, so a cold run ranks variants
+	// from the model instead of swinging on the first jittered measurements.
+	// Cells already warmed (a shared or checkpoint-restored database) are
+	// left alone.
+	RateSeeds []RateSeed
 	// Par is the host worker count real task bodies execute on; <= 1 runs
 	// them serially in schedule order. Placement and every booking are
 	// serial regardless, so timing is byte-identical across Par values, and
@@ -42,9 +49,18 @@ type Options struct {
 	Par int
 }
 
+// RateSeed is one cold-start prior for the affinity database: the model's
+// predicted rate for a codelet's variant class.
+type RateSeed struct {
+	Codelet string
+	Class   Class
+	Rate    float64 // flops per second
+}
+
 // TaskSpan records one placed task for traces and goldens.
 type TaskSpan struct {
-	// Name and Codelet identify the task; Device is "gpu" or "cpuN".
+	// Name and Codelet identify the task; Device is "gpu", "cpuN", or
+	// "hyb(gCPUROWS)" for a hybrid placement showing the device row share.
 	Name, Codelet, Device string
 	// Start and End bound the task's execution booking (ABFT verification
 	// and recompute extensions included in End).
@@ -56,8 +72,9 @@ type Report struct {
 	// Start and End bound the whole graph in virtual time (final dirty-handle
 	// drain included).
 	Start, End sim.Time
-	// Tasks counts the graph's tasks; TasksGPU/TasksCPU the placement split.
-	Tasks, TasksGPU, TasksCPU int
+	// Tasks counts the graph's tasks; TasksGPU/TasksCPU/TasksHyb the
+	// placement split across the three variant classes.
+	Tasks, TasksGPU, TasksCPU, TasksHyb int
 	// Flops is the summed task work.
 	Flops float64
 	// BytesIn/BytesOut are the booked transfer volumes; BytesSkipped counts
@@ -100,6 +117,7 @@ func (r Report) Span(name string) (TaskSpan, bool) {
 // schedProbes holds the scheduler's metric handles, fetched once.
 type schedProbes struct {
 	tasks, tasksGPU, tasksCPU       *telemetry.Counter
+	tasksHyb                        *telemetry.Counter
 	flops                           *telemetry.Counter
 	bytesIn, bytesOut, bytesSkipped *telemetry.Counter
 	makespan                        *telemetry.Gauge
@@ -130,6 +148,7 @@ func newSchedProbes(tel *telemetry.Telemetry) *schedProbes {
 		tasks:        tel.Counter("taskgraph.tasks"),
 		tasksGPU:     tel.Counter("taskgraph.tasks_gpu"),
 		tasksCPU:     tel.Counter("taskgraph.tasks_cpu"),
+		tasksHyb:     tel.Counter("taskgraph.tasks_hyb"),
 		flops:        tel.Counter("taskgraph.flops"),
 		bytesIn:      tel.Counter("taskgraph.bytes_in"),
 		bytesOut:     tel.Counter("taskgraph.bytes_out"),
@@ -158,6 +177,9 @@ type Scheduler struct {
 func NewScheduler(el *element.Element, opts Options) *Scheduler {
 	if opts.Affinity == nil {
 		opts.Affinity = NewRateDB()
+	}
+	for _, sd := range opts.RateSeeds {
+		opts.Affinity.Seed(sd.Codelet, sd.Class, sd.Rate)
 	}
 	return &Scheduler{
 		el:     el,
@@ -292,6 +314,15 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 		}
 	}
 
+	// streamWindow is the double-buffered staging budget for oversized
+	// written working sets. A task whose written tiles cannot fit on the
+	// device streams them through this window instead of making them
+	// resident, exactly like the monolithic pipeline's bounded C windows:
+	// only the head window gates the kernel launch, the rest of the
+	// traffic rides the DMA engine under the kernel, and the kernel runs
+	// bandwidth-bound when the stream cannot keep up.
+	streamWindow := dev.MemBytes() / 4
+
 	// admitGPU applies device-health admission control before a GPU
 	// placement, mirroring the hybrid runner: fault-unaware schedulers stall
 	// on a dead context; fault-aware ones fall back to CPU during the outage
@@ -358,21 +389,39 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 			panic(fmt.Sprintf("taskgraph: task %q has no runnable device variant", t.Name))
 		}
 
-		// Estimate both placements, blending models with measured rates.
+		// Estimate every placement candidate, blending models with measured
+		// rates.
 		const never = 1e30
-		gpuEst, cpuEst := sim.Time(never), sim.Time(never)
+		gpuEst, cpuEst, hybEst := sim.Time(never), sim.Time(never), sim.Time(never)
 		bestCore := -1
+		hybRows := 0
+		var hybShares []int
 		if gpuOK {
-			var freshBytes int64
+			var readFresh, rwFresh, wrFresh int64
 			for _, a := range t.Accesses {
-				if a.Mode == Write {
+				if _, ok := resident[a.H.name]; ok {
 					continue
 				}
-				if _, ok := resident[a.H.name]; !ok {
-					freshBytes += a.H.bytes
+				switch a.Mode {
+				case Read:
+					readFresh += a.H.bytes
+				case ReadWrite:
+					rwFresh += a.H.bytes
+					wrFresh += a.H.bytes
+				case Write:
+					wrFresh += a.H.bytes
 				}
 			}
-			xfer := dev.TransferModel().Seconds(freshBytes)
+			gateBytes, upRest, downBytes, _, _ := streamPlan(readFresh, rwFresh, wrFresh, streamWindow)
+			model := t.Costs.GPUSeconds()
+			if upRest+downBytes > 0 {
+				// Streamed: only the head gates the launch; the rest
+				// overlaps the kernel, bandwidth-bound if slower.
+				if streamSec := dev.TransferModel().Seconds(upRest + downBytes); streamSec > model {
+					model = streamSec
+				}
+			}
+			xfer := dev.TransferModel().Seconds(gateBytes)
 			start := dev.Queue.Available()
 			if readyAt > start {
 				start = readyAt
@@ -385,7 +434,7 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 			if dmaDone > start {
 				start = dmaDone
 			}
-			gpuEst = start + s.rates.Estimate(t.Codelet, true, t.Flops, t.Costs.GPUSeconds())
+			gpuEst = start + s.rates.Estimate(t.Codelet, true, t.Flops, model)
 		}
 		if cpuOK {
 			est := s.rates.Estimate(t.Codelet, false, t.Flops, t.Costs.CPUSeconds())
@@ -399,20 +448,338 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 				}
 			}
 		}
+		// Hybrid candidate: the split body occupies the device queue and the
+		// host cores at once. It is ineligible while the device is down
+		// (gpuOK is already false — the CPU body is the degradation path)
+		// and when the oracle's split rounds to a whole-device placement.
+		if t.Hybrid != nil && gpuOK && cpuOK {
+			h := t.Hybrid
+			// devPlan models the device half of a split at a given row
+			// share: the upload bytes that gate the kernel launch (whole
+			// fresh reads plus the written share — or, when the share
+			// overflows the stream window, just the head window), the
+			// overlapped stream time, and the resulting earliest kernel
+			// start. Mirrored exactly by the booking below so the learned
+			// rate predicts what actually gets booked.
+			devPlan := func(m1 int) (start sim.Time, streamSec float64) {
+				var readFresh, rwFresh, wrFresh int64
+				for _, a := range t.Accesses {
+					if _, ok := resident[a.H.name]; ok {
+						continue
+					}
+					fb := a.H.bytes * int64(m1) / int64(h.Rows)
+					switch a.Mode {
+					case Read:
+						if h.SplitReads {
+							readFresh += fb
+						} else {
+							readFresh += a.H.bytes
+						}
+					case ReadWrite:
+						rwFresh += fb
+						wrFresh += fb
+					case Write:
+						wrFresh += fb
+					}
+				}
+				gate, upRest, downBytes, _, _ := streamPlan(readFresh, rwFresh, wrFresh, streamWindow)
+				if upRest+downBytes > 0 {
+					streamSec = dev.TransferModel().Seconds(upRest + downBytes)
+				}
+				start = dev.Queue.Available()
+				if readyAt > start {
+					start = readyAt
+				}
+				dmaDone := dev.DMA.Available()
+				if readyAt > dmaDone {
+					dmaDone = readyAt
+				}
+				dmaDone += sim.Time(dev.TransferModel().Seconds(gate))
+				if dmaDone > start {
+					start = dmaDone
+				}
+				return start, streamSec
+			}
+			if m1 := int(math.Round(float64(h.Rows) * h.Split())); m1 > 0 && m1 < h.Rows {
+				// Cores that cannot join by the kernel's start (busy with a
+				// panel or an earlier slab) are dropped from the split and
+				// their rows handed back to the device — a synchronized
+				// split that waited for every core would serialize behind
+				// whatever the slowest core is doing. If no core is free in
+				// time, fall back to the fully synchronized split.
+				start0, _ := devPlan(m1)
+				usable := make([]bool, len(cores))
+				nUsable := 0
+				for ci := range cores {
+					if cores[ci].TL.Available() <= start0 {
+						usable[ci] = true
+						nUsable++
+					}
+				}
+				if nUsable == 0 {
+					for ci := range cores {
+						usable[ci] = true
+					}
+					nUsable = len(cores)
+				}
+				m2 := h.Rows - m1
+				if nUsable < len(cores) {
+					m2 = m2 * nUsable / len(cores)
+					m1 = h.Rows - m2
+				}
+				if m2 > 0 {
+					fr := make([]float64, len(cores))
+					for i := range fr {
+						if usable[i] {
+							fr[i] = 1
+						}
+					}
+					if h.CSplits != nil {
+						if cs := h.CSplits(); len(cs) == len(cores) {
+							for i := range fr {
+								if usable[i] {
+									fr[i] = cs[i]
+								}
+							}
+						}
+					}
+					shares := allocRows(m2, fr)
+					if h.FillSkew {
+						// Refine toward a synchronized join: each core's slab
+						// starts at max(data ready, core free) — usually
+						// before the kernel, which waits behind the queue and
+						// the upload gate — so size each slab to end exactly
+						// at the device half's projected join. Two passes
+						// close the fixed point (the join barely moves once
+						// the device share is near its final value).
+						var wsum float64
+						for i := range fr {
+							wsum += fr[i]
+						}
+						for pass := 0; pass < 2 && wsum > 0; pass++ {
+							kStart, ss := devPlan(m1)
+							join := kStart + sim.Time(h.GPUSeconds(m1))
+							if se := kStart + sim.Time(ss); se > join {
+								join = se
+							}
+							ref := m2 / nUsable
+							if ref < 1 {
+								ref = 1
+							}
+							secPerRow := h.CPUSeconds(ref) / float64(ref)
+							if secPerRow <= 0 {
+								break
+							}
+							total := 0
+							for ci := range cores {
+								shares[ci] = 0
+								if !usable[ci] || fr[ci] <= 0 {
+									continue
+								}
+								st := readyAt
+								if a := cores[ci].TL.Available(); a > st {
+									st = a
+								}
+								budget := float64(join - st)
+								if budget <= 0 {
+									continue
+								}
+								r := int(budget / secPerRow * fr[ci] * float64(nUsable) / wsum)
+								if r > h.Rows {
+									r = h.Rows
+								}
+								shares[ci] = r
+								total += r
+							}
+							if total > h.Rows-1 {
+								// The cores could swallow the whole task before
+								// the device half finishes; keep one device row
+								// so the booking stays a genuine split.
+								scale := float64(h.Rows-1) / float64(total)
+								total = 0
+								for ci := range shares {
+									shares[ci] = int(float64(shares[ci]) * scale)
+									total += shares[ci]
+								}
+							}
+							m2 = total
+							m1 = h.Rows - m2
+						}
+						// The two-pass fixed point assumes the join moves slowly
+						// with the device share. Transfer-dominated codelets
+						// (SplitReads stencils, where the upload gate scales
+						// with the share) violate that: the map overshoots and
+						// oscillates between a starved and a saturated device
+						// half. capacityAt re-derives the rows the cores could
+						// absorb by a given share's join; when that disagrees
+						// with what the passes assigned, fall back to a
+						// bisection on the device share — the capacity-vs-
+						// demand balance is monotone in m1, so it always lands.
+						capacityAt := func(m1c int) ([]int, int) {
+							kStart, ss := devPlan(m1c)
+							join := kStart + sim.Time(h.GPUSeconds(m1c))
+							if se := kStart + sim.Time(ss); se > join {
+								join = se
+							}
+							ref := (h.Rows - m1c) / nUsable
+							if ref < 1 {
+								ref = 1
+							}
+							secPerRow := h.CPUSeconds(ref) / float64(ref)
+							if secPerRow <= 0 {
+								return nil, 0
+							}
+							caps := make([]int, len(cores))
+							total := 0
+							for ci := range cores {
+								if !usable[ci] || fr[ci] <= 0 {
+									continue
+								}
+								st := readyAt
+								if a := cores[ci].TL.Available(); a > st {
+									st = a
+								}
+								budget := float64(join - st)
+								if budget <= 0 {
+									continue
+								}
+								r := int(budget / secPerRow * fr[ci] * float64(nUsable) / wsum)
+								if r > h.Rows {
+									r = h.Rows
+								}
+								caps[ci] = r
+								total += r
+							}
+							return caps, total
+						}
+						if wsum > 0 && m2 > 0 {
+							tol := m2 / 8
+							if tol < 2 {
+								tol = 2
+							}
+							if _, cap := capacityAt(m1); cap+tol < m2 || cap > m2+tol {
+								lo, hi := 1, h.Rows-1
+								for lo < hi {
+									mid := (lo + hi) / 2
+									if _, c := capacityAt(mid); c >= h.Rows-mid {
+										hi = mid
+									} else {
+										lo = mid + 1
+									}
+								}
+								m1 = lo
+								m2 = h.Rows - m1
+								if caps, cap := capacityAt(m1); cap > 0 {
+									w := make([]float64, len(cores))
+									for i, c := range caps {
+										w[i] = float64(c)
+									}
+									shares = allocRows(m2, w)
+								} else {
+									shares = allocRows(m2, fr)
+								}
+								total := 0
+								for _, r := range shares {
+									total += r
+								}
+								m2 = total
+								m1 = h.Rows - m2
+							}
+						}
+						if m2 == 0 {
+							// Nothing to top up — degenerate back to the
+							// oracle's allocation.
+							m2 = h.Rows - m1
+							shares = allocRows(m2, fr)
+						}
+					}
+					start, streamSec := devPlan(m1)
+					// Rank like the single-device candidates: waiting time
+					// stays outside the learned rate. The candidate runs for
+					// the intrinsic parallel compute time — max of the
+					// device half (compute- or bandwidth-bound) and the
+					// slowest core slab. Folding per-resource queue skew
+					// into the measured rate would let one congested
+					// wavefront poison the class forever.
+					intrinsic := h.GPUSeconds(m1)
+					if streamSec > intrinsic {
+						intrinsic = streamSec
+					}
+					if h.FillSkew {
+						// Skew-filled slabs start before the kernel and end
+						// at the join by construction: measure them in the
+						// kernel-start frame, like the observation, so the
+						// rank is the projected join and the head start that
+						// overlaps earlier work is not double-charged.
+						for ci, rc := range shares {
+							if rc == 0 {
+								continue
+							}
+							st := readyAt
+							if a := cores[ci].TL.Available(); a > st {
+								st = a
+							}
+							if d := float64(st-start) + h.CPUSeconds(rc); d > intrinsic {
+								intrinsic = d
+							}
+						}
+					} else {
+						for ci, rc := range shares {
+							if rc == 0 {
+								continue
+							}
+							if st := cores[ci].TL.Available(); st > start {
+								start = st
+							}
+							if d := h.CPUSeconds(rc); d > intrinsic {
+								intrinsic = d
+							}
+						}
+					}
+					hybEst = start + s.rates.EstimateClass(t.Codelet, ClassHyb, t.Flops, intrinsic)
+					hybRows, hybShares = m1, shares
+				}
+			}
+		}
 
 		// Gather dependency spans once; bookings start after them.
 		depSpan := sim.Span{Start: readyAt, End: readyAt}
 
 		var sp sim.Span
+		var end sim.Time
+		var gpuTail sim.Time
 		var device string
-		if gpuOK && gpuEst <= cpuEst {
+		hybChosen := hybRows > 0 && hybEst < gpuEst && hybEst <= cpuEst
+		if gpuOK && !hybChosen && gpuEst <= cpuEst {
 			device = "gpu"
 			// Uploads for reads not yet resident; resident reads are skips.
 			keep := make(map[string]bool, len(t.Accesses))
 			for _, a := range t.Accesses {
 				keep[a.H.name] = true
 			}
+			// The fresh working set decides streaming semantics on both
+			// sides: an oversized written set streams through the bounded
+			// window (host copy authoritative), an oversized upload set gates
+			// the launch on a head window only and streams the rest in under
+			// the kernel as it sweeps rows in order.
+			var readFresh, rwFresh, wrFresh int64
+			for _, a := range t.Accesses {
+				if _, ok := resident[a.H.name]; ok {
+					continue
+				}
+				switch a.Mode {
+				case Read:
+					readFresh += a.H.bytes
+				case ReadWrite:
+					rwFresh += a.H.bytes
+					wrFresh += a.H.bytes
+				case Write:
+					wrFresh += a.H.bytes
+				}
+			}
+			gate, upRest, downBytes, rStream, wStream := streamPlan(readFresh, rwFresh, wrFresh, streamWindow)
 			deps := []sim.Span{depSpan}
+			var lateUp []*Handle // fresh reads riding the in-stream under the kernel
 			for _, a := range t.Accesses {
 				if a.Mode == Write {
 					continue
@@ -424,6 +791,15 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 					deps = append(deps, re.sp)
 					continue
 				}
+				if wStream && a.Mode == ReadWrite {
+					continue // streams through the window instead
+				}
+				if rStream {
+					// Uploaded under the kernel after the head gate;
+					// registered resident once the stream span is known.
+					lateUp = append(lateUp, a.H)
+					continue
+				}
 				evictFor(a.H.bytes, keep)
 				up := dev.UploadBytes(a.H.bytes, readyAt)
 				rep.BytesIn += a.H.bytes
@@ -432,32 +808,392 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 				memInUse += a.H.bytes
 				deps = append(deps, up)
 			}
-			// Write-only outputs still occupy device memory.
-			for _, a := range t.Accesses {
-				if a.Mode != Write {
-					continue
-				}
-				if _, ok := resident[a.H.name]; !ok {
-					evictFor(a.H.bytes, keep)
-					lruTick++
-					resident[a.H.name] = &residentEntry{bytes: a.H.bytes, lru: lruTick}
-					memInUse += a.H.bytes
+			if !wStream {
+				// Write-only outputs still occupy device memory.
+				for _, a := range t.Accesses {
+					if a.Mode != Write {
+						continue
+					}
+					if _, ok := resident[a.H.name]; !ok {
+						evictFor(a.H.bytes, keep)
+						lruTick++
+						resident[a.H.name] = &residentEntry{bytes: a.H.bytes, lru: lruTick}
+						memInUse += a.H.bytes
+					}
 				}
 			}
-			sp = dev.Kernel(t.Name, t.Costs.GPUSeconds(), deps...)
-			s.rates.Observe(t.Codelet, true, t.Flops, sp.Duration())
-			// Written handles now live on the device, newer than the host.
+			if !rStream && !wStream {
+				sp = dev.Kernel(t.Name, t.Costs.GPUSeconds(), deps...)
+				s.rates.Observe(t.Codelet, true, t.Flops, sp.Duration())
+			} else {
+				// The head gates the launch; the rest of the inbound stream
+				// and the whole outbound stream ride the DMA engine under
+				// the kernel, and the task ends only once the last window
+				// has drained.
+				var head int64
+				if rStream {
+					head = gate
+					rep.BytesIn += readFresh + rwFresh
+				} else {
+					head = gate - readFresh // fresh reads already booked above
+					rep.BytesIn += rwFresh
+				}
+				if head > 0 {
+					up := dev.UploadBytes(head, readyAt)
+					deps = append(deps, up)
+				}
+				if wStream {
+					evictFor(streamWindow, keep)
+					memInUse += streamWindow
+				}
+				sp = dev.Kernel(t.Name, t.Costs.GPUSeconds(), deps...)
+				gpuTail = sp.End
+				var restSp sim.Span
+				if upRest > 0 {
+					restSp = dev.UploadBytes(upRest, sp.Start)
+					if restSp.End > gpuTail {
+						gpuTail = restSp.End
+					}
+				}
+				if downBytes > 0 {
+					down := dev.DownloadBytes(downBytes, sp.Start)
+					rep.BytesOut += downBytes
+					if down.End > gpuTail {
+						gpuTail = down.End
+					}
+				}
+				if wStream {
+					memInUse -= streamWindow
+				}
+				// Deferred fresh reads are resident once the in-stream
+				// drains; later readers wait on that span, not the kernel.
+				for _, hd := range lateUp {
+					evictFor(hd.bytes, keep)
+					lruTick++
+					resident[hd.name] = &residentEntry{bytes: hd.bytes, sp: restSp, lru: lruTick}
+					memInUse += hd.bytes
+				}
+				measured := sp.Duration()
+				if ss := dev.TransferModel().Seconds(upRest + downBytes); ss > measured {
+					measured = ss
+				}
+				s.rates.Observe(t.Codelet, true, t.Flops, measured)
+			}
+			// Written handles that are device-resident are now newer than
+			// the host; streamed shares already drained, so the host copy
+			// stays authoritative for them.
 			for _, a := range t.Accesses {
 				if a.Mode == Read {
 					continue
 				}
-				re := resident[a.H.name]
+				re, ok := resident[a.H.name]
+				if !ok {
+					continue
+				}
 				lruTick++
 				re.lru = lruTick
 				re.sp = sp
 				re.dirty = true
 			}
 			rep.TasksGPU++
+		} else if hybChosen {
+			h := t.Hybrid
+			m1 := hybRows
+			device = fmt.Sprintf("hyb(g%d)", m1)
+			keep := make(map[string]bool, len(t.Accesses))
+			for _, a := range t.Accesses {
+				keep[a.H.name] = true
+			}
+			deps := []sim.Span{depSpan}
+			hostReady := readyAt
+
+			fracOf := func(bytes int64) int64 {
+				return bytes * int64(m1) / int64(h.Rows)
+			}
+			// The fresh working set decides streaming semantics exactly like
+			// the whole-GPU body: reads are needed whole (unless the codelet
+			// declares them row-local), written shares are row-split.
+			var readFresh, rwFresh, wrFresh int64
+			for _, a := range t.Accesses {
+				if _, ok := resident[a.H.name]; ok {
+					continue
+				}
+				switch a.Mode {
+				case Read:
+					if h.SplitReads {
+						readFresh += fracOf(a.H.bytes)
+					} else {
+						readFresh += a.H.bytes
+					}
+				case ReadWrite:
+					fb := fracOf(a.H.bytes)
+					rwFresh += fb
+					wrFresh += fb
+				case Write:
+					wrFresh += fracOf(a.H.bytes)
+				}
+			}
+			gate, upRest, downBytes, rStream, wStream := streamPlan(readFresh, rwFresh, wrFresh, streamWindow)
+			var lateUp []*Handle // fresh reads riding the in-stream under the kernel
+			var transientBytes int64
+
+			// Pure reads are needed whole on both sides: on the device for
+			// the kernel (cacheable, exactly like the GPU body) and current
+			// on the host for the core slabs — a device-dirty read streams
+			// back first. SplitReads codelets upload only the device rows'
+			// share of each fresh read; the partial copy is transient
+			// occupancy, never registered resident.
+			for _, a := range t.Accesses {
+				if a.Mode != Read {
+					continue
+				}
+				if re, ok := resident[a.H.name]; ok {
+					if re.dirty {
+						down := dev.DownloadBytes(re.bytes, re.sp.End)
+						rep.BytesOut += re.bytes
+						re.dirty = false
+						re.sp = down
+						if down.End > hostReady {
+							hostReady = down.End
+						}
+					}
+					lruTick++
+					re.lru = lruTick
+					rep.BytesSkipped += re.bytes
+					deps = append(deps, re.sp)
+					continue
+				}
+				if h.SplitReads {
+					fb := fracOf(a.H.bytes)
+					evictFor(fb, keep)
+					memInUse += fb
+					transientBytes += fb
+					if !rStream {
+						// Fractional head share, booked individually; under
+						// rStream the bytes ride the in-stream instead (the
+						// head gate already counts the fractional readFresh).
+						up := dev.UploadBytes(fb, readyAt)
+						rep.BytesIn += fb
+						deps = append(deps, up)
+					}
+					continue
+				}
+				if rStream {
+					// Uploaded under the kernel after the head gate;
+					// registered resident once the stream span is known.
+					lateUp = append(lateUp, a.H)
+					continue
+				}
+				evictFor(a.H.bytes, keep)
+				up := dev.UploadBytes(a.H.bytes, readyAt)
+				rep.BytesIn += a.H.bytes
+				lruTick++
+				resident[a.H.name] = &residentEntry{bytes: a.H.bytes, sp: up, lru: lruTick}
+				memInUse += a.H.bytes
+				deps = append(deps, up)
+			}
+
+			// Written handles are row-split: the device owns its share only
+			// for the duration of the task (the join downloads it, leaving
+			// the host copy authoritative). An existing resident copy serves
+			// the device rows in place but goes stale at the join. Both
+			// kinds of device occupancy — the transient row share and the
+			// whole stale copy — stay charged to the working-set guard until
+			// the booking completes, so a tile touched from both devices is
+			// counted once and exactly as long as it actually occupies
+			// memory.
+			var stale []string
+			for _, a := range t.Accesses {
+				if a.Mode == Read {
+					continue
+				}
+				fb := fracOf(a.H.bytes)
+				if re, ok := resident[a.H.name]; ok {
+					if re.dirty && a.Mode == ReadWrite {
+						// The host half updates rows whose only current copy
+						// is on the device: write it back before starting.
+						down := dev.DownloadBytes(re.bytes, re.sp.End)
+						rep.BytesOut += re.bytes
+						re.dirty = false
+						re.sp = down
+						if down.End > hostReady {
+							hostReady = down.End
+						}
+					}
+					if a.Mode == ReadWrite {
+						rep.BytesSkipped += fb
+					}
+					lruTick++
+					re.lru = lruTick
+					deps = append(deps, re.sp)
+					stale = append(stale, a.H.name)
+					continue
+				}
+				if wStream {
+					continue // streams through the window instead
+				}
+				evictFor(fb, keep)
+				if a.Mode == ReadWrite && !rStream {
+					up := dev.UploadBytes(fb, hostReady)
+					rep.BytesIn += fb
+					deps = append(deps, up)
+				}
+				memInUse += fb
+				transientBytes += fb
+			}
+			if rStream || wStream {
+				var head int64
+				if rStream {
+					head = gate
+					rep.BytesIn += readFresh + rwFresh
+				} else {
+					head = gate - readFresh // fresh reads already booked above
+					rep.BytesIn += rwFresh
+				}
+				if head > 0 {
+					up := dev.UploadBytes(head, hostReady)
+					deps = append(deps, up)
+				}
+				if wStream {
+					evictFor(streamWindow, keep)
+					memInUse += streamWindow
+					transientBytes += streamWindow
+				}
+			}
+
+			sp = dev.Kernel(t.Name, h.GPUSeconds(m1), deps...)
+
+			// Join: the device's rows of every written handle stream back —
+			// under the kernel for the streamed share, at the drain for
+			// held shares and in-place updates of stale resident copies.
+			gpuEnd := sp.End
+			var restSp sim.Span
+			if upRest > 0 {
+				restSp = dev.UploadBytes(upRest, sp.Start)
+				if restSp.End > gpuEnd {
+					gpuEnd = restSp.End
+				}
+			}
+			if downBytes > 0 {
+				down := dev.DownloadBytes(downBytes, sp.Start)
+				rep.BytesOut += downBytes
+				if down.End > gpuEnd {
+					gpuEnd = down.End
+				}
+			}
+			// Deferred fresh reads are resident once the in-stream drains;
+			// later readers wait on that span, not the kernel.
+			for _, hd := range lateUp {
+				evictFor(hd.bytes, keep)
+				lruTick++
+				resident[hd.name] = &residentEntry{bytes: hd.bytes, sp: restSp, lru: lruTick}
+				memInUse += hd.bytes
+			}
+			for _, a := range t.Accesses {
+				if a.Mode == Read {
+					continue
+				}
+				if wStream {
+					if _, ok := resident[a.H.name]; !ok {
+						continue // already streamed back under the kernel
+					}
+				}
+				fb := fracOf(a.H.bytes)
+				down := dev.DownloadBytes(fb, sp.End)
+				rep.BytesOut += fb
+				if down.End > gpuEnd {
+					gpuEnd = down.End
+				}
+			}
+
+			// Host half: the remaining rows shared across the cores.
+			cpuEnd := hostReady
+			maxSlice := sim.Time(0)
+			coreWorks := make([]float64, len(cores))
+			coreTimes := make([]float64, len(cores))
+			for ci, rc := range hybShares {
+				if rc == 0 {
+					continue
+				}
+				ssp := cores[ci].Work(fmt.Sprintf("%s+c%d", t.Name, ci), h.CPUSeconds(rc), hostReady)
+				coreWorks[ci] = t.Flops * float64(rc) / float64(h.Rows)
+				coreTimes[ci] = float64(ssp.End - ssp.Start)
+				if d := ssp.End - ssp.Start; d > maxSlice {
+					maxSlice = d
+				}
+				if ssp.End > cpuEnd {
+					cpuEnd = ssp.End
+				}
+			}
+
+			// Release the device occupancy the split held: transient row
+			// shares and copies the host half just made stale.
+			memInUse -= transientBytes
+			for _, name := range stale {
+				if re, ok := resident[name]; ok {
+					memInUse -= re.bytes
+					delete(resident, name)
+				}
+			}
+
+			end = gpuEnd
+			if cpuEnd > end {
+				end = cpuEnd
+			}
+			// Feed back the intrinsic parallel compute time — the quantity
+			// the candidate rank predicts. Queue skew between the kernel
+			// start and the core slabs, and the join drain riding the DMA
+			// timeline, both stay out on both sides of the estimate.
+			tg := sp.Duration()
+			if upRest+downBytes > 0 {
+				if ss := dev.TransferModel().Seconds(upRest + downBytes); ss > tg {
+					tg = ss
+				}
+			}
+			measured := tg
+			if h.FillSkew {
+				// Match the estimate's kernel-start frame.
+				if d := cpuEnd - sp.Start; d > measured {
+					measured = d
+				}
+			} else if maxSlice > measured {
+				measured = maxSlice
+			}
+			s.rates.ObserveClass(t.Codelet, ClassHyb, t.Flops, measured)
+			// The oracle's tc is normalized by the participating-core
+			// fraction: a split that dropped busy cores measured only part of
+			// the element's CPU capacity, and feeding the raw slab time would
+			// teach database_g a ratio that ping-pongs between the full-core
+			// and reduced-core regimes instead of the machine's actual
+			// GPU:CPU capacity (the dropping mechanism already rescales the
+			// row shares deterministically at the next placement).
+			nUsed := 0
+			for _, rc := range hybShares {
+				if rc > 0 {
+					nUsed++
+				}
+			}
+			tcOracle := maxSlice
+			if h.FillSkew && cpuEnd > hostReady {
+				// Skew-filled slabs start before the kernel; measure them in
+				// the kernel-start frame so a synchronized join reads as
+				// tc == tg and the oracle keeps the capacity balance instead
+				// of re-learning the skew the scheduler already fills.
+				tcOracle = cpuEnd - sp.Start
+				if tcOracle <= 0 {
+					tcOracle = maxSlice
+				}
+			}
+			if nUsed > 0 && nUsed < len(cores) {
+				tcOracle = tcOracle * sim.Time(nUsed) / sim.Time(len(cores))
+			}
+			if h.Observe != nil {
+				h.Observe(float64(m1)/float64(h.Rows), float64(tg), float64(tcOracle), coreWorks, coreTimes)
+			}
+			if s.opts.Verify && (t.Shape[0] > 0 || t.Shape[1] > 0) {
+				end = s.verifyHybrid(t, m1, sp, gpuEnd, cpuEnd, &rep)
+			}
+			rep.TasksHyb++
 		} else {
 			core := cores[bestCore]
 			device = fmt.Sprintf("cpu%d", bestCore)
@@ -492,9 +1228,14 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 			rep.TasksCPU++
 		}
 
-		end := sp.End
-		if device == "gpu" && s.opts.Verify && (t.Shape[0] > 0 || t.Shape[1] > 0) {
-			end = s.verifyTask(t, sp, &rep)
+		if !hybChosen {
+			end = sp.End
+			if gpuTail > end {
+				end = gpuTail
+			}
+			if device == "gpu" && s.opts.Verify && (t.Shape[0] > 0 || t.Shape[1] > 0) {
+				end = s.verifyTask(t, sim.Span{Start: sp.Start, End: end}, &rep)
+			}
 		}
 		finish[t.id] = end
 		if end > rep.End {
@@ -546,6 +1287,7 @@ func (s *Scheduler) Run(g *Graph, earliest sim.Time) (Report, error) {
 		pr.tasks.Add(int64(rep.Tasks))
 		pr.tasksGPU.Add(int64(rep.TasksGPU))
 		pr.tasksCPU.Add(int64(rep.TasksCPU))
+		pr.tasksHyb.Add(int64(rep.TasksHyb))
 		pr.flops.Add(int64(rep.Flops))
 		pr.bytesIn.Add(rep.BytesIn)
 		pr.bytesOut.Add(rep.BytesOut)
@@ -600,6 +1342,128 @@ func (s *Scheduler) verifyTask(t *Task, kernel sim.Span, rep *Report) sim.Time {
 		pr.tracer.Instant("taskgraph.abft", "abft", "sdc.recompute "+t.Name, end)
 	}
 	return end
+}
+
+// verifyHybrid books the ABFT checks of a split task at its join: the device
+// half is verified at its drain with the same strike geometry as a whole-GPU
+// task, shaped to its row share, while the host half's checksum only costs
+// time — ECC'd host memory is never struck, mirroring the hybrid runner. A
+// localizable strike re-books just the device half's kernel.
+func (s *Scheduler) verifyHybrid(t *Task, m1 int, kernel sim.Span, gpuEnd, cpuEnd sim.Time, rep *Report) sim.Time {
+	nn, k := t.Shape[1], t.Shape[2]
+	m2 := t.Hybrid.Rows - m1
+	verG := abft.VerifySeconds(m1, nn, k)
+	verC := abft.VerifySeconds(m2, nn, k)
+	gEnd := gpuEnd + verG
+	cEnd := cpuEnd + verC
+	rep.VerifySeconds += verG + verC
+	seq := s.taskSeq
+	s.taskSeq++
+	if pr := s.probes; pr != nil {
+		pr.sdcProbes()
+		pr.tracer.Span("taskgraph.abft", "abft", "verify "+t.Name, gpuEnd, gEnd)
+	}
+	end := gEnd
+	if cEnd > end {
+		end = cEnd
+	}
+	hit, struck := s.opts.SDC.SDCTask(seq, gpuEnd, m1, nn)
+	if !struck {
+		return end
+	}
+	rep.SDCDetected++
+	if abft.Classify(hit.Faults, hit.InChecksum) == abft.Escalate {
+		rep.SDCEscalated++
+		if pr := s.probes; pr != nil {
+			pr.tracer.Instant("taskgraph.abft", "abft", "sdc.escalate "+t.Name, end)
+		}
+		return end
+	}
+	redo := s.el.GPU.Kernel(t.Name+"~redo", t.Hybrid.GPUSeconds(m1), sim.Span{Start: gEnd, End: gEnd})
+	rEnd := redo.End + verG
+	rep.VerifySeconds += verG
+	rep.SDCCorrected++
+	rep.RecomputedTasks++
+	if pr := s.probes; pr != nil {
+		pr.tracer.Instant("taskgraph.abft", "abft", "sdc.recompute "+t.Name, rEnd)
+	}
+	if rEnd > end {
+		end = rEnd
+	}
+	return end
+}
+
+// streamPlan decides the transfer shape of a task's fresh working set against
+// the bounded stream window. gate is the upload that must land before the
+// kernel launches, upRest the inbound stream overlapped with the kernel, and
+// down the outbound stream riding under it. rStream reports an oversized
+// upload set (fresh reads plus in-place updates): only a head window gates the
+// launch and the rest streams in as the kernel sweeps rows in order. wStream
+// reports an oversized written set: it cannot become resident, so it cycles
+// through the window and the host copy stays authoritative. The two compose —
+// a trailing-update slab typically overflows both sides at once.
+func streamPlan(readFresh, rwFresh, wrFresh, window int64) (gate, upRest, down int64, rStream, wStream bool) {
+	upFresh := readFresh + rwFresh
+	rStream = upFresh > window
+	wStream = wrFresh > window
+	switch {
+	case rStream:
+		gate = window / 2
+		upRest = upFresh - gate
+	case wStream:
+		head := min(rwFresh, window/2)
+		gate = readFresh + head
+		upRest = rwFresh - head
+	default:
+		gate = upFresh
+	}
+	if wStream {
+		down = wrFresh
+	}
+	return gate, upRest, down, rStream, wStream
+}
+
+// allocRows distributes total rows across shares by largest remainder, the
+// same deterministic rule the hybrid runner uses for its level-2 per-core
+// split.
+func allocRows(total int, fracs []float64) []int {
+	n := len(fracs)
+	out := make([]int, n)
+	if total == 0 || n == 0 {
+		return out
+	}
+	var sum float64
+	for _, f := range fracs {
+		sum += f
+	}
+	if sum <= 0 {
+		out[0] = total
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, f := range fracs {
+		exact := float64(total) * f / sum
+		out[i] = int(exact)
+		assigned += out[i]
+		rems[i] = rem{idx: i, frac: exact - float64(out[i])}
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac--
+		assigned++
+	}
+	return out
 }
 
 // runBodies executes the real host bodies. Serial mode walks the placement
