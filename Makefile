@@ -3,7 +3,7 @@
 # suite, and runs the full test suite (under the race detector where the
 # toolchain has cgo).
 
-.PHONY: check build test vet lint fuzz bench faultgolden graphgolden graphbench parbench servebench
+.PHONY: check build test vet lint fuzz bench faultgolden recovergolden graphgolden graphbench parbench servebench
 
 check:
 	./scripts/check.sh
@@ -31,6 +31,14 @@ test:
 # this target surfaces their verdicts verbosely.
 faultgolden:
 	go test -run 'TestHealthyScenarioHasZeroHookOverhead|TestLostGPUAcceptance' -v ./cmd/faultbench
+
+# recovergolden surfaces the elastic-recovery goldens verbosely: the shrink
+# mapping of the survivor protocol (internal/recover) and the full rendered
+# recovery-vs-restart comparison including the bit-identity acceptance
+# (internal/experiments). Regenerate deliberately with -update.
+recovergolden:
+	go test -run 'TestShrinkMappingGolden' -v ./internal/recover
+	go test -run 'TestElasticRecoveryGolden|TestElasticRecoveryAcceptance' -v ./internal/experiments
 
 # graphgolden regenerates the canonical dataflow schedules (graph-LU with
 # look-ahead 1 and the 3-D stencil sweep) and diffs them against the
@@ -61,6 +69,7 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzChecksumCodec$$' -fuzztime 10s ./internal/abft
 	go test -run '^$$' -fuzz '^FuzzJobCodec$$' -fuzztime 10s ./internal/serve
 	go test -run '^$$' -fuzz '^FuzzGraphSchedule$$' -fuzztime 10s ./internal/taskgraph
+	go test -run '^$$' -fuzz '^FuzzComposedScenarios$$' -fuzztime 10s ./internal/linpacksim
 
 bench:
 	go test -run xxx -bench . -benchtime 10x .

@@ -38,6 +38,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric dump after the runs")
 	parFlag := flag.Int("par", 0, "worker count (<=0: GOMAXPROCS); output is identical for every value")
+	elastic := flag.Bool("elastic", false, "with the element-fail scenario, also report elastic recovery (survivor-side reconstruction, no rollback) against the checkpoint/restart path")
 	flag.Parse()
 	par := sweep.Workers(*parFlag)
 
@@ -59,7 +60,7 @@ func main() {
 	reports := sweep.MapTel(context.Background(), par, tel, scenarios,
 		func(_ int, sc string, tel *telemetry.Telemetry) report {
 			var buf bytes.Buffer
-			err := runScenario(&buf, sc, *seed, *n, *ops, *linpackN, tel, par)
+			err := runScenario(&buf, sc, *seed, *n, *ops, *linpackN, *elastic, tel, par)
 			return report{text: buf.String(), err: err}
 		})
 	for i, r := range reports {
@@ -94,20 +95,44 @@ func main() {
 	}
 }
 
-func runScenario(w io.Writer, sc string, seed uint64, n, ops, linpackN int, tel *telemetry.Telemetry, par int) error {
+func runScenario(w io.Writer, sc string, seed uint64, n, ops, linpackN int, elastic bool, tel *telemetry.Telemetry, par int) error {
 	switch {
 	case strings.Contains(sc, "sdc"):
 		// Plain sdc-* scenarios and compositions layering them onto timing
-		// faults (e.g. sdc-single+degraded-gpu) run the ABFT sweep.
+		// faults (element death included: e.g. element-fail+sdc-single) run
+		// the ABFT sweep — the stepper picks element failures off the same
+		// injector.
 		return sdcReport(w, sc, seed, linpackN, tel, par)
 	case sc == "flaky-net":
 		return netStorm(w, seed, tel)
 	case sc == "element-fail":
 		failover(w, seed, linpackN, tel, par)
+		if elastic {
+			return elasticReport(w, seed, tel, par)
+		}
 		return nil
 	default:
 		return policySweep(w, sc, seed, n, ops, tel, par)
 	}
+}
+
+// elasticReport runs the ISSUE 10 elastic-recovery comparison: the real
+// small-N elastic solver (bit-identity against a shrunk-from-start run) and
+// the paper-scale model arm, recovery cost against the checkpoint redo.
+func elasticReport(w io.Writer, seed uint64, tel *telemetry.Telemetry, par int) error {
+	res, err := experiments.ElasticRecovery(seed, 0, tel, par)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	experiments.WriteElastic(w, res)
+	if err := experiments.ElasticVerdict(res); err != nil {
+		fmt.Fprintf(w, "  verdict: FAIL — %v\n", err)
+		return nil
+	}
+	fmt.Fprintf(w, "  verdict: PASS — survivors bit-identical, model recovery %.3f s < checkpoint redo %.3f s, encode overhead %.2f%% < 5%%\n",
+		res.ModelFailed.RecoverySeconds, res.ModelFailed.CheckpointRedoSeconds, res.ModelOverheadPct)
+	return nil
 }
 
 // sdcReport runs the silent-data-corruption sweep and prints its acceptance

@@ -54,6 +54,7 @@ func DefaultContracts() ContractTable {
 		Module: "tianhe",
 		Rules: map[string]Contract{
 			"tianhe/internal/abft":          {Pure: true, NoGlobalWrites: true, Why: "checksum verdicts must be a pure function of the matrix bytes"},
+			"tianhe/internal/recover":       {Pure: true, NoGlobalWrites: true, Why: "parity encoding, shrink mapping and rebuild plans must replay bit-identically on every survivor"},
 			"tianhe/internal/serve":         {Pure: true, NoGlobalWrites: true, Why: "admission and batching must replay bit-identically from (seed, config)"},
 			"tianhe/internal/serve/loadgen": {Pure: true, NoGlobalWrites: true, Why: "generated arrivals must replay bit-identically from the seed"},
 			"tianhe/internal/sweep":         {Pure: true, NoGlobalWrites: true, Why: "the parallel runner itself must not carry cross-point state"},

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+)
+
+// A healthy elastic run must solve correctly with parity on, and encode a
+// nonzero amount of checksum traffic.
+func TestElasticHealthySolves(t *testing.T) {
+	res, err := SolveElastic(ElasticConfig{N: 256, NB: 32, Ranks: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("residual %g failed", res.Residual)
+	}
+	if res.Epochs != 0 || len(res.Failed) != 0 {
+		t.Fatalf("healthy run reported failures: %+v", res)
+	}
+	if res.ParityBytes == 0 {
+		t.Fatal("no parity traffic on a healthy encoded run")
+	}
+}
+
+// The tentpole acceptance at solver level: kill an element mid-run; the
+// survivors must finish forward with a passing residual and factors (and
+// pivots, and solution) byte-identical to a run distributed over the
+// survivors from the start.
+func TestElasticFailureBitIdenticalToShrunkFromStart(t *testing.T) {
+	cfg := ElasticConfig{N: 256, NB: 32, Ranks: 4, Seed: 42}
+	healthy, err := SolveElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []int{0, 2} { // root death and mid-rank death
+		cfg := cfg
+		cfg.Failures = []FailureSpec{{Rank: victim, At: healthy.Seconds * 0.4}}
+		el, err := SolveElastic(cfg)
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		if !el.Passed {
+			t.Fatalf("victim %d: residual %g failed after elastic recovery", victim, el.Residual)
+		}
+		if el.Epochs != 1 || len(el.Failed) != 1 || el.Failed[0] != victim {
+			t.Fatalf("victim %d: epochs=%d failed=%v", victim, el.Epochs, el.Failed)
+		}
+		if len(el.RecoverySeconds) != 1 || el.RecoverySeconds[0] <= 0 {
+			t.Fatalf("victim %d: recovery stall not measured: %v", victim, el.RecoverySeconds)
+		}
+		ref, err := SolveElastic(ElasticConfig{
+			N: cfg.N, NB: cfg.NB, Ranks: cfg.Ranks, Seed: cfg.Seed,
+			StartLive: el.FinalLive, StartOwners: el.FinalOwners,
+		})
+		if err != nil {
+			t.Fatalf("victim %d reference: %v", victim, err)
+		}
+		if !el.Factors.Equal(ref.Factors) {
+			t.Fatalf("victim %d: factors differ from shrunk-from-start run (max diff %g)", victim, el.Factors.MaxDiff(ref.Factors))
+		}
+		for k := range el.Pivots {
+			for i := range el.Pivots[k] {
+				if el.Pivots[k][i] != ref.Pivots[k][i] {
+					t.Fatalf("victim %d: pivot drift at (%d,%d)", victim, k, i)
+				}
+			}
+		}
+		if matrix.VecMaxDiff(el.X, ref.X) != 0 {
+			t.Fatalf("victim %d: solutions differ", victim)
+		}
+		if el.Residual != ref.Residual {
+			t.Fatalf("victim %d: residuals differ: %g vs %g", victim, el.Residual, ref.Residual)
+		}
+	}
+}
+
+// K sequential failures down to the minimum surviving quorum (2 elements),
+// exercising recovery under an already-adopted (irregular) layout and the
+// parity re-encode between epochs.
+func TestElasticSequentialFailuresToQuorumFloor(t *testing.T) {
+	cfg := ElasticConfig{N: 256, NB: 32, Ranks: 4, Seed: 7}
+	healthy, err := SolveElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = []FailureSpec{
+		{Rank: 1, At: healthy.Seconds * 0.3},
+		{Rank: 3, At: healthy.Seconds * 0.6},
+	}
+	el, err := SolveElastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !el.Passed {
+		t.Fatalf("residual %g failed after two elastic recoveries", el.Residual)
+	}
+	if el.Epochs != 2 || len(el.FinalLive) != 2 {
+		t.Fatalf("epochs=%d live=%v, want 2 epochs and 2 survivors", el.Epochs, el.FinalLive)
+	}
+	ref, err := SolveElastic(ElasticConfig{
+		N: cfg.N, NB: cfg.NB, Ranks: cfg.Ranks, Seed: cfg.Seed,
+		StartLive: el.FinalLive, StartOwners: el.FinalOwners,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !el.Factors.Equal(ref.Factors) {
+		t.Fatalf("factors differ from shrunk-from-start run (max diff %g)", el.Factors.MaxDiff(ref.Factors))
+	}
+}
+
+// The quorum floor is enforced up front.
+func TestElasticQuorumFloorRejected(t *testing.T) {
+	_, err := SolveElastic(ElasticConfig{N: 128, NB: 32, Ranks: 3, Seed: 1,
+		Failures: []FailureSpec{{Rank: 0, At: 0}, {Rank: 1, At: sim.Time(1)}}})
+	if err == nil {
+		t.Fatal("expected quorum-floor rejection")
+	}
+}

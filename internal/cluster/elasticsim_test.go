@@ -1,0 +1,32 @@
+package cluster
+
+import "testing"
+
+// The paper-scale model: encoding stays under 5% and the elastic recovery
+// beats the checkpoint/restart redo for the same mid-run failure.
+func TestElasticSimPaperScale(t *testing.T) {
+	base := ElasticSimConfig{N: 19456, NB: 128, Elements: 24}
+	clean := SimulateElastic(base)
+	par := base
+	par.Parity = true
+	enc := SimulateElastic(par)
+	overhead := (enc.Seconds - clean.Seconds) / clean.Seconds * 100
+	t.Logf("clean %.1fs, parity %.1fs, overhead %.2f%%", clean.Seconds, enc.Seconds, overhead)
+	if overhead >= 5 {
+		t.Fatalf("encoding overhead %.2f%% >= 5%%", overhead)
+	}
+	fail := par
+	fail.FailFrac = 0.5
+	fr := SimulateElastic(fail)
+	t.Logf("fail@iter %d: recovery %.2fs vs checkpoint redo %.2fs", fr.FailIter, fr.RecoverySeconds, fr.CheckpointRedoSeconds)
+	if fr.RecoverySeconds <= 0 || fr.RecoverySeconds >= fr.CheckpointRedoSeconds {
+		t.Fatalf("elastic recovery %.2fs must be strictly below checkpoint redo %.2fs", fr.RecoverySeconds, fr.CheckpointRedoSeconds)
+	}
+	if fr.CheckpointSteadySeconds <= 0 || fr.HeartbeatSeconds <= 0 {
+		t.Fatalf("steady-state costs missing: %+v", fr)
+	}
+	// Determinism: the model is a pure function of its config.
+	if again := SimulateElastic(fail); again != fr {
+		t.Fatal("model is not deterministic")
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"tianhe/internal/cluster"
+	"tianhe/internal/matrix"
+	"tianhe/internal/sim"
+	"tianhe/internal/sweep"
+	"tianhe/internal/telemetry"
+)
+
+// The elastic-recovery experiment runs both arms of ISSUE 10's acceptance:
+//
+//   - The real arm executes the elastic distributed solver (real arithmetic,
+//     virtual time) at a size the test suite can afford, kills an element at
+//     half the healthy makespan, and checks the survivors' factors, pivots
+//     and solution byte-for-byte against a run distributed over the same
+//     survivors from the start — the bit-identity contract.
+//   - The model arm prices the identical protocol at the paper's scale
+//     (N = 19456 over 24 elements), where it must keep steady-state parity
+//     encoding under 5% and recover a mid-run death strictly cheaper than
+//     the PR 3 per-iteration checkpoint/restart path redoes it.
+
+// ElasticModelN is the paper-scale problem order of the model arm.
+const ElasticModelN = 19456
+
+// ElasticRecoveryResult carries both arms, side by side.
+type ElasticRecoveryResult struct {
+	N, NB, Ranks int
+
+	Healthy  cluster.ElasticResult // failure-free, parity on
+	Failed   cluster.ElasticResult // element death at half makespan
+	Shrunk   cluster.ElasticResult // survivors-from-start reference
+	NoParity cluster.ElasticResult // failure-free, parity off
+
+	// BitIdentical reports factors, pivots and solution of the failed run
+	// matching the shrunk-from-start reference exactly.
+	BitIdentical bool
+	// RecoverySeconds is the failed run's agreed first-epoch stall;
+	// RealOverheadPct the parity-on vs parity-off cost at this small size
+	// (reported for honesty — the <5% acceptance applies at model scale,
+	// where encoding hides behind much larger updates).
+	RecoverySeconds float64
+	RealOverheadPct float64
+
+	ModelClean  cluster.ElasticSimResult
+	ModelParity cluster.ElasticSimResult
+	ModelFailed cluster.ElasticSimResult
+	// ModelOverheadPct is the paper-scale steady-state encoding overhead.
+	ModelOverheadPct float64
+}
+
+// ElasticRecovery runs both arms. The failed elastic run must follow the
+// healthy one (which sets the failure instant); the reference and model arms
+// are independent and fan out over par workers.
+func ElasticRecovery(seed uint64, n int, tel *telemetry.Telemetry, par int) (ElasticRecoveryResult, error) {
+	if n <= 0 {
+		n = 512
+	}
+	const nb, ranks = 64, 4
+	base := cluster.ElasticConfig{N: n, NB: nb, Ranks: ranks, Seed: seed}
+	healthy, err := cluster.SolveElastic(base)
+	if err != nil {
+		return ElasticRecoveryResult{}, fmt.Errorf("healthy arm: %w", err)
+	}
+	failCfg := base
+	failCfg.Failures = []cluster.FailureSpec{{Rank: 1, At: sim.Time(0.5) * healthy.Seconds}}
+	failed, err := cluster.SolveElastic(failCfg)
+	if err != nil {
+		return ElasticRecoveryResult{}, fmt.Errorf("failed arm: %w", err)
+	}
+
+	type arm struct {
+		run   cluster.ElasticResult
+		model cluster.ElasticSimResult
+		err   error
+	}
+	modelBase := cluster.ElasticSimConfig{N: ElasticModelN, NB: 128, Elements: 24}
+	arms := sweep.MapTel(context.Background(), par, tel, []string{"shrunk", "noparity", "model-clean", "model-parity", "model-failed"},
+		func(_ int, name string, tel *telemetry.Telemetry) arm {
+			var a arm
+			switch name {
+			case "shrunk":
+				cfg := base
+				cfg.StartLive = failed.FinalLive
+				cfg.StartOwners = failed.FinalOwners
+				a.run, a.err = cluster.SolveElastic(cfg)
+			case "noparity":
+				cfg := base
+				cfg.DisableParity = true
+				a.run, a.err = cluster.SolveElastic(cfg)
+			case "model-clean":
+				a.model = cluster.SimulateElastic(modelBase)
+			case "model-parity":
+				cfg := modelBase
+				cfg.Parity = true
+				a.model = cluster.SimulateElastic(cfg)
+			case "model-failed":
+				cfg := modelBase
+				cfg.Parity = true
+				cfg.FailFrac = 0.5
+				a.model = cluster.SimulateElastic(cfg)
+			}
+			return a
+		})
+	for i, a := range arms {
+		if a.err != nil {
+			return ElasticRecoveryResult{}, fmt.Errorf("%s arm: %w", []string{"shrunk", "noparity"}[i], a.err)
+		}
+	}
+	res := ElasticRecoveryResult{
+		N: n, NB: nb, Ranks: ranks,
+		Healthy: healthy, Failed: failed,
+		Shrunk: arms[0].run, NoParity: arms[1].run,
+		ModelClean: arms[2].model, ModelParity: arms[3].model, ModelFailed: arms[4].model,
+	}
+	res.BitIdentical = bitIdentical(res.Failed, res.Shrunk)
+	if len(res.Failed.RecoverySeconds) > 0 {
+		res.RecoverySeconds = res.Failed.RecoverySeconds[0]
+	}
+	res.RealOverheadPct = 100 * float64(res.Healthy.Seconds-res.NoParity.Seconds) / float64(res.NoParity.Seconds)
+	res.ModelOverheadPct = 100 * (res.ModelParity.Seconds - res.ModelClean.Seconds) / res.ModelClean.Seconds
+	return res, nil
+}
+
+// bitIdentical compares factors, pivots and solution exactly.
+func bitIdentical(a, b cluster.ElasticResult) bool {
+	if a.Factors == nil || b.Factors == nil || !a.Factors.Equal(b.Factors) {
+		return false
+	}
+	if len(a.Pivots) != len(b.Pivots) {
+		return false
+	}
+	for k := range a.Pivots {
+		for i := range a.Pivots[k] {
+			if a.Pivots[k][i] != b.Pivots[k][i] {
+				return false
+			}
+		}
+	}
+	return matrix.VecMaxDiff(a.X, b.X) == 0
+}
+
+// WriteElastic renders the recovery-vs-restart comparison, both arms — the
+// form faultbench -elastic prints and the experiment golden pins.
+func WriteElastic(w io.Writer, r ElasticRecoveryResult) {
+	fmt.Fprintf(w, "elastic recovery: real arm N=%d NB=%d Q=%d\n", r.N, r.NB, r.Ranks)
+	fmt.Fprintf(w, "  healthy      %12.6f s  residual %.6g\n", float64(r.Healthy.Seconds), r.Healthy.Residual)
+	fmt.Fprintf(w, "  elastic-fail %12.6f s  residual %.6g  failed %v  epochs %d\n",
+		float64(r.Failed.Seconds), r.Failed.Residual, r.Failed.Failed, r.Failed.Epochs)
+	fmt.Fprintf(w, "  shrunk-ref   %12.6f s  residual %.6g  live %v\n",
+		float64(r.Shrunk.Seconds), r.Shrunk.Residual, r.Shrunk.FinalLive)
+	fmt.Fprintf(w, "  bit-identical %v  recovery %.6f s  parity bytes %d  encode overhead %.2f%%\n",
+		r.BitIdentical, r.RecoverySeconds, r.Failed.ParityBytes, r.RealOverheadPct)
+	m := r.ModelFailed
+	fmt.Fprintf(w, "model arm N=%d NB=%d Q=%d (fail at iter %d of %d)\n", m.N, m.NB, m.Elements, m.FailIter, m.Iterations)
+	fmt.Fprintf(w, "  encode overhead     %8.2f %%\n", r.ModelOverheadPct)
+	fmt.Fprintf(w, "  elastic recovery    %8.3f s\n", m.RecoverySeconds)
+	fmt.Fprintf(w, "  checkpoint redo     %8.3f s\n", m.CheckpointRedoSeconds)
+	fmt.Fprintf(w, "  checkpoint steady   %8.3f s\n", m.CheckpointSteadySeconds)
+}
+
+// ElasticVerdict enforces ISSUE 10's acceptance on an ElasticRecovery result.
+func ElasticVerdict(r ElasticRecoveryResult) error {
+	if !r.Failed.Passed {
+		return fmt.Errorf("elastic: failed-arm residual %g did not pass", r.Failed.Residual)
+	}
+	if len(r.Failed.Failed) == 0 || r.Failed.Epochs == 0 {
+		return fmt.Errorf("elastic: failure was not injected (epochs=%d)", r.Failed.Epochs)
+	}
+	if !r.BitIdentical {
+		return fmt.Errorf("elastic: factors diverge from the shrunk-from-start reference")
+	}
+	if r.RecoverySeconds <= 0 {
+		return fmt.Errorf("elastic: recovery stall not measured")
+	}
+	if r.ModelOverheadPct >= 5 {
+		return fmt.Errorf("elastic: model encoding overhead %.2f%% >= 5%%", r.ModelOverheadPct)
+	}
+	if r.ModelFailed.RecoverySeconds <= 0 ||
+		r.ModelFailed.RecoverySeconds >= r.ModelFailed.CheckpointRedoSeconds {
+		return fmt.Errorf("elastic: model recovery %.2fs not strictly below checkpoint redo %.2fs",
+			r.ModelFailed.RecoverySeconds, r.ModelFailed.CheckpointRedoSeconds)
+	}
+	return nil
+}

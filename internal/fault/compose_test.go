@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestElementFailComposesWithEveryFaultClass: the "+" composition layers
+// element death onto soft errors and device loss in one schedule — the exact
+// failure cocktail elastic recovery must survive. The element-fail part must
+// come through unchanged, and injector views that other subsystems key off
+// (SDC windows, GPU loss, element failures) must all see their events.
+func TestElementFailComposesWithEveryFaultClass(t *testing.T) {
+	const horizon = 100.0
+	ef, err := Scenario("element-fail", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ef) != 1 || ef[0].Kind != ElementFail || ef[0].Start != 0.50*horizon {
+		t.Fatalf("element-fail schedule = %+v, want one ElementFail at half horizon", ef)
+	}
+	for _, other := range []string{"sdc-single", "sdc-dma", "sdc-burst", "lost-gpu"} {
+		part, err := Scenario(other, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := Scenario("element-fail+"+other, horizon)
+		if err != nil {
+			t.Fatalf("element-fail+%s: %v", other, err)
+		}
+		if len(both) != len(ef)+len(part) {
+			t.Fatalf("element-fail+%s has %d events, want %d", other, len(both), len(ef)+len(part))
+		}
+		in, err := NewScenario("element-fail+"+other, horizon, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := in.ElementFailures()
+		if len(fs) != 1 || fs[0].Start != 0.50*horizon {
+			t.Fatalf("element-fail+%s: injector reports failures %+v", other, fs)
+		}
+		if other == "lost-gpu" && !in.LostIn(0, horizon) {
+			t.Fatalf("element-fail+%s: injector lost the GPU-loss window", other)
+		}
+	}
+}
+
+// TestComposedScenarioDeterministic: two injectors built from the same
+// composed name, horizon and seed must agree on everything downstream
+// consumers read — the event schedule, the element-failure view, and the
+// per-task SDC strike plan — so a composed fault run replays bit-for-bit.
+func TestComposedScenarioDeterministic(t *testing.T) {
+	const name = "element-fail+sdc-single+lost-gpu"
+	build := func() *Injector {
+		in, err := NewScenario(name, 100, 2009)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := build(), build()
+	ae, be := a.Events(), b.Events()
+	if len(ae) != len(be) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+	af, bf := a.ElementFailures(), b.ElementFailures()
+	if len(af) != 1 || len(bf) != 1 || af[0] != bf[0] {
+		t.Fatalf("element-failure views differ: %+v vs %+v", af, bf)
+	}
+	// The strike plan is keyed by task index and drain time; the two
+	// injectors must hand out identical hits task for task.
+	for task := 0; task < 200; task++ {
+		drain := 20.0 + float64(task)*0.2
+		ha, oka := a.SDCTask(task, drain, 128, 128)
+		hb, okb := b.SDCTask(task, drain, 128, 128)
+		if oka != okb || ha != hb {
+			t.Fatalf("task %d strike differs: (%+v %v) vs (%+v %v)", task, ha, oka, hb, okb)
+		}
+	}
+	if a.SDCDelivered() != b.SDCDelivered() {
+		t.Fatalf("delivered counts differ: %d vs %d", a.SDCDelivered(), b.SDCDelivered())
+	}
+}

@@ -427,17 +427,33 @@ func (in *Injector) crossCabinet(a, b int) bool {
 
 // ElementFailAt returns the virtual time of the first scheduled element
 // failure; ok is false when none is scheduled (or the injector is nil).
+// It is shorthand for ElementFailures()[0]; elastic-recovery consumers
+// that survive K sequential failures should walk the full schedule.
 func (in *Injector) ElementFailAt() (sim.Time, bool) {
-	if in == nil {
+	fs := in.ElementFailures()
+	if len(fs) == 0 {
 		return 0, false
 	}
-	first, ok := sim.Time(0), false
+	return fs[0].Start, true
+}
+
+// ElementFailures returns every scheduled element failure in start order
+// (ties broken by schedule position, so composed scenarios replay
+// identically). Event.Core names the victim element when the scenario set
+// one; consumers map it onto their own element space. Nil-safe: a nil
+// injector has no failures.
+func (in *Injector) ElementFailures() []Event {
+	if in == nil {
+		return nil
+	}
+	var fs []Event
 	for _, e := range in.events {
-		if e.Kind == ElementFail && (!ok || e.Start < first) {
-			first, ok = e.Start, true
+		if e.Kind == ElementFail {
+			fs = append(fs, e)
 		}
 	}
-	return first, ok
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Start < fs[j].Start })
+	return fs
 }
 
 // GPURestoreEnd returns the end of the last scheduled GPU loss window —

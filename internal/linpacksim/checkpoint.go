@@ -2,6 +2,7 @@ package linpacksim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,13 @@ import (
 	"tianhe/internal/sim"
 	"tianhe/internal/telemetry"
 )
+
+// ErrCheckpointsExhausted reports that every checkpoint generation failed
+// verification or restore — there is nothing left to roll back to. Run
+// reacts by restarting the stepper clean from iteration zero (carrying the
+// run's fault accounting), the degraded-but-forward path a real launcher
+// takes when the checkpoint store itself is corrupt.
+var ErrCheckpointsExhausted = errors.New("linpacksim: every checkpoint generation is unusable")
 
 // Checkpoint captures the restartable state of a run between iterations:
 // the loop position, the virtual clock, and the adaptive databases (the
@@ -181,8 +189,10 @@ func (s *Sim) Restore(cp *Checkpoint) error {
 // RestoreNewest reinstalls the newest checkpoint in cps that verifies and
 // restores cleanly, returning its index. A checkpoint corrupted at rest is
 // skipped and the next older one tried — the fallback chain a real
-// checkpointer keeps two generations for. It errors only when every
-// candidate is unusable.
+// checkpointer keeps two generations for. When every candidate is unusable
+// it returns an error wrapping ErrCheckpointsExhausted (with the newest
+// generation's failure as the detail), so callers can distinguish "fall
+// back to a clean restart" from a programming error.
 func (s *Sim) RestoreNewest(cps []*Checkpoint) (int, error) {
 	var firstErr error
 	for i := len(cps) - 1; i >= 0; i-- {
@@ -195,7 +205,7 @@ func (s *Sim) RestoreNewest(cps []*Checkpoint) (int, error) {
 		return i, nil
 	}
 	if firstErr == nil {
-		firstErr = fmt.Errorf("linpacksim: no checkpoints to restore")
+		return -1, fmt.Errorf("%w: no checkpoints taken", ErrCheckpointsExhausted)
 	}
-	return -1, firstErr
+	return -1, fmt.Errorf("%w: newest generation: %v", ErrCheckpointsExhausted, firstErr)
 }

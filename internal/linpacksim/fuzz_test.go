@@ -1,0 +1,68 @@
+package linpacksim
+
+import (
+	"strings"
+	"testing"
+
+	"tianhe/internal/element"
+	"tianhe/internal/fault"
+)
+
+// FuzzComposedScenarios drives arbitrary "+"-composed fault scenarios (and
+// arbitrary seeds) through a full checkpointed Linpack run and asserts the
+// robustness contract: the run never panics, always completes every
+// iteration, counts exactly the element deaths the scenario scheduled, and
+// replays bit-identically from the same inputs. Invalid scenario names must
+// be rejected by fault.NewScenario, never reach the stepper.
+func FuzzComposedScenarios(f *testing.F) {
+	f.Add("element-fail", uint64(47))
+	f.Add("element-fail+sdc-single", uint64(47))
+	f.Add("element-fail+lost-gpu", uint64(2009))
+	f.Add("sdc-burst+element-fail+degraded-gpu", uint64(7))
+	f.Add("element-fail+element-fail", uint64(11))
+	f.Add("healthy+jitter-storm", uint64(3))
+	f.Add("no-such-scenario", uint64(1))
+	f.Add("", uint64(0))
+
+	base := Config{N: 4864, NB: 1216, Variant: element.ACMLGBoth, Checkpoint: true}
+	clean := base
+	clean.Checkpoint = false
+	horizon := Run(clean).Seconds
+	ref := Run(base)
+
+	f.Fuzz(func(t *testing.T, name string, seed uint64) {
+		// Cap the composition: each "+" part adds a full event schedule, and
+		// unbounded names only fuzz the string splitter, not the stepper.
+		if len(name) > 64 || strings.Count(name, "+") > 3 {
+			t.Skip("composition too long")
+		}
+		in, err := fault.NewScenario(name, horizon, seed)
+		if err != nil {
+			t.Skip("invalid scenario (rejected up front, as required)")
+		}
+		cfg := base
+		cfg.Seed = seed
+		cfg.SDC = in
+		res := Run(cfg)
+		if res.Iterations != ref.Iterations {
+			t.Fatalf("%q finished %d iterations, want %d", name, res.Iterations, ref.Iterations)
+		}
+		if res.Seconds <= 0 {
+			t.Fatalf("%q booked non-positive makespan %v", name, res.Seconds)
+		}
+		if want := len(in.ElementFailures()); res.Failures != want {
+			t.Fatalf("%q survived %d element deaths, scenario scheduled %d", name, res.Failures, want)
+		}
+		in2, err := fault.NewScenario(name, horizon, seed)
+		if err != nil {
+			t.Fatalf("%q parsed once but not twice: %v", name, err)
+		}
+		cfg.SDC = in2
+		again := Run(cfg)
+		if again.Seconds != res.Seconds || again.Failures != res.Failures ||
+			again.SDCDetected != res.SDCDetected || again.SDCCorrected != res.SDCCorrected ||
+			again.RedoneIterations != res.RedoneIterations {
+			t.Fatalf("%q not deterministic:\n  first  %+v\n  second %+v", name, res, again)
+		}
+	})
+}

@@ -10,7 +10,10 @@
 package linpacksim
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"tianhe/internal/adaptive"
 	"tianhe/internal/element"
@@ -133,6 +136,11 @@ type Config struct {
 	// when Checkpoint is set, from iteration zero otherwise. Zero disables
 	// failure injection.
 	FailAt sim.Time
+	// FailAts schedules additional element failures beyond FailAt — K
+	// sequential deaths in one run, each recovered independently. ElementFail
+	// events carried by the SDC injector (composed scenarios like
+	// "element-fail+sdc-single") join the schedule too; see failureSchedule.
+	FailAts []sim.Time
 	// RestartSec is the outage + relaunch time charged on failure; zero
 	// selects DefaultRestartSec.
 	RestartSec sim.Time
@@ -141,6 +149,14 @@ type Config struct {
 	// CheckpointBandwidth on the critical path) so a failure redoes at most
 	// one iteration.
 	Checkpoint bool
+	// CorruptCheckpointsAt marks the checkpoint store bad from this instant
+	// on: every generation already held is poisoned when the clock first
+	// passes it, and every generation written afterwards lands on the bad
+	// medium and is poisoned too — corruption at rest striking the store
+	// itself, not one unlucky file. The next restore finds the chain
+	// exhausted (ErrCheckpointsExhausted) and Run falls back to a clean
+	// restart from iteration zero. Zero disables the injection.
+	CorruptCheckpointsAt sim.Time
 
 	// Verify enables ABFT checksum verification of every trailing-update
 	// task (see hybrid.Runner.EnableABFT): the verification time lands on
@@ -226,6 +242,29 @@ func DefaultNB(v element.Variant) int {
 // injected element failure strikes: node reboot, process relaunch and data
 // reload before the solver resumes.
 const DefaultRestartSec sim.Time = 30.0
+
+// failureSchedule merges every configured element-death instant — FailAt,
+// FailAts, and the ElementFail events of the attached injector (composed
+// scenarios layer element death onto sdc-* and lost-gpu) — into one
+// ascending schedule. Nil when the run is failure-free.
+func (cfg Config) failureSchedule() []sim.Time {
+	var out []sim.Time
+	if cfg.FailAt > 0 {
+		out = append(out, cfg.FailAt)
+	}
+	for _, at := range cfg.FailAts {
+		if at > 0 {
+			out = append(out, at)
+		}
+	}
+	for _, ev := range cfg.SDC.ElementFailures() {
+		if ev.Start > 0 {
+			out = append(out, ev.Start)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // CheckpointBandwidth is the byte rate of the checkpoint device (a node-
 // local store). Each per-iteration checkpoint writes the iteration's
@@ -324,6 +363,12 @@ func NewSim(cfg Config) *Sim {
 		fault.Attach(cfg.SDC, el)
 		if !cfg.Graph {
 			runner.EnableABFT(cfg.SDC)
+			// Composed scenarios can layer full device loss (lost-gpu) onto
+			// the corruption schedule; an adaptive runner arms the CPU
+			// fallback so the loss degrades instead of stalling the run.
+			if cfg.Variant.Adaptive() && cfg.SDC.LostIn(0, sim.Time(math.Inf(1))) {
+				runner.EnableGPUFaultFallback(8)
+			}
 		}
 		s.abftOn = true
 	}
@@ -703,24 +748,72 @@ func (s *Sim) Result() Result {
 	return res
 }
 
-// Run simulates one Linpack execution and returns its timing. With FailAt
-// set, an element failure strikes when the clock first passes it: the run
+// adoptTotals carries a dead stepper's fault accounting into a fresh one:
+// the counters describe the run, not the attempt, so a clean restart must
+// not zero them.
+func (s *Sim) adoptTotals(old *Sim) {
+	s.failures = old.failures
+	s.redone = old.redone
+	s.checkpointSeconds = old.checkpointSeconds
+	s.sdcDetected = old.sdcDetected
+	s.sdcCorrected = old.sdcCorrected
+	s.sdcEscalated = old.sdcEscalated
+	s.sdcRestores = old.sdcRestores
+	s.verifySeconds = old.verifySeconds
+}
+
+// Run simulates one Linpack execution and returns its timing. Element
+// failures (FailAt, FailAts, or ElementFail events on the SDC injector)
+// strike when the clock first passes each scheduled instant: the run
 // restores from the last checkpoint (Checkpoint true) or restarts from
 // iteration zero, resumes RestartSec after the failure, and the lost
-// iterations are re-executed.
+// iterations are re-executed. When every checkpoint generation is itself
+// corrupt (ErrCheckpointsExhausted), the run falls back to a clean restart
+// from iteration zero instead of aborting — forward progress degrades, it
+// never stops.
 func Run(cfg Config) Result {
 	s := NewSim(cfg)
 	restart := cfg.RestartSec
 	if restart <= 0 {
 		restart = DefaultRestartSec
 	}
+	fails := cfg.failureSchedule()
+	nextFail := 0
 	// cps keeps the two newest good checkpoints (plus the empty initial
 	// state): escalated corruption restores the newest one that still
 	// verifies, falling back a generation if the newest is itself corrupt.
 	cps := []*Checkpoint{s.Checkpoint()}
-	failed := false
+	corrupted := false
+	// poison breaks a checkpoint's seal once the store has gone bad, so
+	// generations written onto the corrupt medium are as dead as the ones
+	// struck in place.
+	poison := func(cp *Checkpoint) *Checkpoint {
+		if corrupted {
+			cp.Sum ^= 0xdead
+		}
+		return cp
+	}
+	// cleanRestart is the checkpoint-exhaustion fallback: a fresh stepper
+	// from iteration zero carrying the run's accounting, resuming at the
+	// given clock.
+	cleanRestart := func(resume sim.Time, lost int) {
+		old := s
+		s = NewSim(cfg)
+		s.adoptTotals(old)
+		s.redone += lost
+		s.Skip(resume)
+		cps = []*Checkpoint{poison(s.Checkpoint())}
+	}
 	for !s.Done() {
 		s.Step()
+		if cfg.CorruptCheckpointsAt > 0 && !corrupted && s.t > cfg.CorruptCheckpointsAt {
+			// At-rest corruption strikes the checkpoint store: every held
+			// generation's seal no longer matches its contents.
+			corrupted = true
+			for _, cp := range cps {
+				cp.Sum ^= 0xdead
+			}
+		}
 		if s.Escalated() {
 			// Uncorrectable corruption (multi-element, or a checksum row
 			// hit): the iteration's output cannot be trusted and task-level
@@ -733,30 +826,40 @@ func Run(cfg Config) Result {
 			now := s.t
 			lost := s.iters
 			cpIdx, err := s.RestoreNewest(cps)
-			if err != nil {
+			switch {
+			case err == nil:
+				sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
+				s.redone += lost - s.iters
+				s.Skip(now + sec)
+				cps = cps[:cpIdx+1]
+			case errors.Is(err, ErrCheckpointsExhausted):
+				cleanRestart(now+restart, lost)
+			default:
 				panic(fmt.Sprintf("linpacksim: escalation restore: %v", err))
 			}
-			sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
 			s.sdcRestores++
-			s.redone += lost - s.iters
-			s.Skip(now + sec)
 			if s.sdcRestores > 100*s.cfg.N/s.nb+100 {
 				panic("linpacksim: SDC escalations never drain — injected corruption outpaces recovery")
 			}
-			cps = cps[:cpIdx+1]
 			continue
 		}
-		if cfg.FailAt > 0 && !failed && s.t > cfg.FailAt {
-			// The element died at FailAt; everything past the last
-			// checkpoint is lost, including the iteration just simulated.
-			failed = true
+		if nextFail < len(fails) && s.t > fails[nextFail] {
+			// The element died; everything past the last checkpoint is
+			// lost, including the iteration just simulated.
+			at := fails[nextFail]
+			nextFail++
 			lost := s.iters
-			if _, err := s.RestoreNewest(cps); err != nil {
+			_, err := s.RestoreNewest(cps)
+			switch {
+			case err == nil:
+				s.redone += lost - s.iters
+				s.Skip(at + restart)
+			case errors.Is(err, ErrCheckpointsExhausted):
+				cleanRestart(at+restart, lost)
+			default:
 				panic(fmt.Sprintf("linpacksim: failover restore: %v", err))
 			}
 			s.failures++
-			s.redone += lost - s.iters
-			s.Skip(cfg.FailAt + restart)
 			continue
 		}
 		if cfg.Checkpoint && !s.Done() {
@@ -765,7 +868,7 @@ func Run(cfg Config) Result {
 			sec := 8 * float64(s.cfg.N) * float64(s.lastJB) / CheckpointBandwidth
 			s.checkpointSeconds += sec
 			s.Skip(s.t + sec)
-			cps = append(cps, s.Checkpoint())
+			cps = append(cps, poison(s.Checkpoint()))
 			if len(cps) > 3 {
 				cps = cps[len(cps)-3:]
 			}

@@ -57,6 +57,11 @@ type World struct {
 	mu     sync.Mutex
 	queues map[int]*rankQueue // keyed by destination rank
 	comms  []*Comm
+
+	// Failure registry (see failure.go): ranks that called Die, keyed to
+	// the virtual instant their clock stopped. Nil until the first death.
+	deadMu sync.Mutex
+	dead   map[int]sim.Time
 }
 
 // worldProbes holds the communicator-wide metric handles: message counts,

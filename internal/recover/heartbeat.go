@@ -1,0 +1,86 @@
+package recover
+
+import (
+	"sort"
+
+	"tianhe/internal/mpi"
+)
+
+// Heartbeat is the iteration-boundary failure detector: every live member
+// pings the lowest live candidate root and waits for its verdict; the root
+// gathers pings from everyone else — RecvFromOrFail turns a dead member
+// into a bounded-suspicion error rather than a hang — and answers each
+// survivor with the sorted list of ranks that failed this round. If the
+// candidate root itself is dead, the member marks it and walks to the next
+// candidate, which (having walked the same prefix) has meanwhile promoted
+// itself to root; the walk converges because every member visits candidates
+// in the same order. The verdict send happens only after the root heard
+// from all survivors, so the round doubles as a barrier: no survivor enters
+// the next iteration before the failure set is agreed.
+//
+// Deterministic and wall-clock free: suspicion times come from the mpi
+// death registry (victim clock + mpi.SuspicionBound), so the same schedule
+// of deaths yields bit-identical verdicts and clocks at any -par.
+//
+// Returns the failed ranks, ascending — identical on every survivor — or
+// nil when all of live answered. A single survivor detects nothing (there
+// is no one left to agree with); the caller handles the quorum floor.
+func Heartbeat(c *mpi.Comm, live []int, tagPing, tagVerdict int) []int {
+	if len(live) <= 1 {
+		return nil
+	}
+	me := c.Rank()
+	suspected := map[int]bool{}
+	for {
+		cand := -1
+		for _, r := range live {
+			if !suspected[r] {
+				cand = r
+				break
+			}
+		}
+		if cand == me {
+			return heartbeatRoot(c, live, suspected, tagPing, tagVerdict)
+		}
+		c.Send(cand, tagPing, nil)
+		data, err := c.RecvFromOrFail(cand, tagVerdict)
+		if err != nil {
+			suspected[cand] = true
+			continue
+		}
+		failed := make([]int, len(data))
+		for i, v := range data {
+			failed[i] = int(v)
+		}
+		return failed
+	}
+}
+
+// heartbeatRoot gathers pings from every unsuspected member, folds receive
+// failures into the verdict, and answers each survivor.
+func heartbeatRoot(c *mpi.Comm, live []int, suspected map[int]bool, tagPing, tagVerdict int) []int {
+	me := c.Rank()
+	for _, r := range live {
+		if r == me || suspected[r] {
+			continue
+		}
+		if _, err := c.RecvFromOrFail(r, tagPing); err != nil {
+			suspected[r] = true
+		}
+	}
+	failed := make([]int, 0, len(suspected))
+	for r := range suspected {
+		failed = append(failed, r)
+	}
+	sort.Ints(failed)
+	verdict := make([]float64, len(failed))
+	for i, r := range failed {
+		verdict[i] = float64(r)
+	}
+	for _, r := range live {
+		if r != me && !suspected[r] {
+			c.Send(r, tagVerdict, verdict)
+		}
+	}
+	return failed
+}

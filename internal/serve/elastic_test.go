@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestElementDeathDrainsNotFails: a permanent element death mid-run removes
+// the worker from the pool; its in-flight batch requeues at the queue front
+// and the survivors retire every admitted job — deaths shrink capacity,
+// they never fail jobs.
+func TestElementDeathDrainsNotFails(t *testing.T) {
+	const jobs = 400
+	healthy, err := New(Config{Seed: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, healthy, jobs, 128, 2e-4)
+	healthy.Run()
+	hs := healthy.Stats()
+	if hs.Completed != jobs {
+		t.Fatalf("healthy run lost jobs: %+v", hs)
+	}
+
+	struck, err := New(Config{
+		Seed: 5, Workers: 3,
+		Scenario: "element-fail", ScenarioHorizon: hs.LastEnd, StruckWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(t, struck, jobs, 128, 2e-4)
+	struck.Run()
+	ss := struck.Stats()
+	if ss.Deaths != 1 {
+		t.Fatalf("deaths = %d, want 1: %+v", ss.Deaths, ss)
+	}
+	if ss.Admitted != ss.Offered || ss.Completed != ss.Admitted {
+		t.Fatalf("element death failed jobs: %+v", ss)
+	}
+	// The death strikes at half the healthy makespan — mid-run, with work
+	// still queued — so the drained survivors carry the tail. (LastEnd is
+	// NOT compared against the healthy run: batches land on different
+	// workers' jitter streams after the death, which can move the finish a
+	// hair in either direction.)
+	if ss.LastEnd <= hs.LastEnd/2 {
+		t.Fatalf("run ended %g, before the death at %g could strike", ss.LastEnd, hs.LastEnd/2)
+	}
+}
+
+// TestElementDeathComposesWithLostGPU: the composed "element-fail+lost-gpu"
+// scenario drives both recovery paths through one run — the outage drains
+// and parks, the death permanently removes — and the whole composition
+// replays deterministically, result for result.
+func TestElementDeathComposesWithLostGPU(t *testing.T) {
+	const jobs = 300
+	run := func() (Stats, []Result) {
+		s, err := New(Config{
+			Seed: 7, Workers: 3,
+			Scenario: "element-fail+lost-gpu", ScenarioHorizon: 0.05, StruckWorkers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream(t, s, jobs, 128, 2e-4)
+		s.Run()
+		return s.Stats(), s.Results()
+	}
+	st, res := run()
+	if st.Deaths != 2 {
+		t.Fatalf("deaths = %d, want 2 (both struck workers die)", st.Deaths)
+	}
+	if st.Completed != st.Admitted || st.Admitted != st.Offered {
+		t.Fatalf("composed scenario failed jobs: %+v", st)
+	}
+	st2, res2 := run()
+	if st != st2 {
+		t.Fatalf("composed run stats not deterministic:\n  first  %+v\n  second %+v", st, st2)
+	}
+	if len(res) != len(res2) {
+		t.Fatalf("result counts differ: %d vs %d", len(res), len(res2))
+	}
+	for i := range res {
+		if res[i] != res2[i] {
+			t.Fatalf("result %d differs:\n  first  %+v\n  second %+v", i, res[i], res2[i])
+		}
+	}
+}
+
+// TestElementFailNeedsASurvivor: killing every worker would strand the
+// queue, so the configuration is rejected up front.
+func TestElementFailNeedsASurvivor(t *testing.T) {
+	if _, err := New(Config{Seed: 1, Workers: 2, Scenario: "element-fail", ScenarioHorizon: 1, StruckWorkers: -1}); err == nil {
+		t.Fatal("pool-wide element-fail accepted")
+	}
+}

@@ -107,6 +107,15 @@ type worker struct {
 	// parked marks a worker waiting out a device outage after draining a
 	// batch back into the queue; it rejoins the pool at the restore event.
 	parked bool
+	// dead marks a permanent element failure (element-fail scenarios): the
+	// worker never rejoins the pool. Its in-flight batch, if any, was
+	// requeued at the front when the death struck.
+	dead bool
+	// inflight is the batch currently executing on the worker, and epoch
+	// invalidates its scheduled completion when a death aborts it — the
+	// completion event for a dead dispatch must retire nothing.
+	inflight *batch
+	epoch    int
 }
 
 // Stats aggregates one service run.
@@ -119,6 +128,12 @@ type Stats struct {
 	// Batches counts dispatched hybrid calls; Drains counts batches a
 	// device outage drained back into the queue before execution.
 	Batches, Drains int
+	// Deaths counts permanent element failures injected into the pool
+	// (element-fail scenarios). A dead worker leaves the pool for good and
+	// its in-flight batch requeues at the queue front, so the survivors
+	// retire every admitted job — deaths shrink capacity, they never fail
+	// jobs.
+	Deaths int
 	// QueuePeak is the deepest the admission queue got.
 	QueuePeak int
 	// LastEnd is the completion time of the last finished job.
@@ -232,6 +247,7 @@ func New(cfg Config) (*Server, error) {
 		struck = cfg.Workers
 	}
 	maxWork := 2 * float64(cfg.MaxBatchRows) * float64(lim.MaxDim) * float64(lim.MaxDim)
+	deaths := 0
 	for i := 0; i < cfg.Workers; i++ {
 		elSeed := sim.NewStream(cfg.Seed, fmt.Sprintf("serve/worker%d", i)).Uint64()
 		el := element.New(element.Config{Seed: elSeed, Virtual: true})
@@ -241,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		// cores (with database_g quarantine and post-restore re-warm)
 		// rather than poisoning the service.
 		run.EnableGPUFaultFallback(rewarmHalfLife)
+		w := &worker{idx: i, el: el, run: run}
 		if scenario && i < struck {
 			inSeed := sim.NewStream(cfg.Seed, fmt.Sprintf("serve/fault%d", i)).Uint64()
 			in, err := fault.NewScenario(cfg.Scenario, cfg.ScenarioHorizon, inSeed)
@@ -249,11 +266,23 @@ func New(cfg Config) (*Server, error) {
 			}
 			fault.Attach(in, el)
 			in.Instrument(cfg.Telemetry)
+			// Element deaths are a dispatcher concern, not a device one:
+			// fault.Attach wires the GPU and link faults into the element,
+			// while the ElementFail schedule lands on the event loop as
+			// permanent worker removals.
+			for _, ev := range in.ElementFailures() {
+				deaths++
+				at := ev.Start
+				s.eng.At(at, func() { s.failWorker(w) })
+			}
 		}
 		if cfg.Telemetry.Enabled() {
 			run.Instrument(cfg.Telemetry)
 		}
-		s.workers = append(s.workers, &worker{idx: i, el: el, run: run})
+		s.workers = append(s.workers, w)
+	}
+	if deaths > 0 && struck >= cfg.Workers {
+		return nil, fmt.Errorf("serve: scenario %q kills all %d workers — an element-fail scenario must leave a survivor to drain the queue", cfg.Scenario, cfg.Workers)
 	}
 	return s, nil
 }
@@ -367,11 +396,47 @@ func (s *Server) retryAfter() float64 {
 // pickWorker returns the lowest-index idle worker, nil when none.
 func (s *Server) pickWorker() *worker {
 	for _, w := range s.workers {
-		if !w.busy && !w.parked {
+		if !w.busy && !w.parked && !w.dead {
 			return w
 		}
 	}
 	return nil
+}
+
+// failWorker removes a worker from the pool for good — an element death, not
+// a device outage. The in-flight batch (results not yet delivered, so nothing
+// observable happened) aborts and requeues at the queue FRONT: its jobs have
+// waited longest and must not re-enter admission behind fresh arrivals. The
+// scheduled completion of the aborted dispatch is invalidated by the epoch
+// bump. Survivors keep draining — a death shrinks capacity, it never fails
+// an admitted job.
+func (s *Server) failWorker(w *worker) {
+	if w.dead {
+		return
+	}
+	now := s.eng.Now()
+	w.dead = true
+	w.parked = false
+	s.stats.Deaths++
+	if pr := s.probes; pr != nil {
+		// Registered lazily on the first death (the tenant-probe pattern), so
+		// healthy runs keep their metric dumps byte-identical.
+		pr.tel.Counter("serve.deaths").Inc()
+		pr.tel.Trace.Instant("serve", "serve", fmt.Sprintf("death.w%d", w.idx), now)
+	}
+	if w.busy {
+		b := w.inflight
+		w.busy = false
+		w.inflight = nil
+		w.epoch++
+		b.drained++
+		s.waiting += len(b.jobs)
+		if pr := s.probes; pr != nil {
+			pr.depth.Set(float64(s.waiting))
+		}
+		s.ready = append([]*batch{b}, s.ready...)
+	}
+	s.pump()
 }
 
 // healthyElsewhere reports whether any other worker's device currently
@@ -380,7 +445,7 @@ func (s *Server) pickWorker() *worker {
 // dead device is better than grinding it through the CPU fallback.
 func (s *Server) healthyElsewhere(w *worker, now sim.Time) bool {
 	for _, v := range s.workers {
-		if v == w {
+		if v == w || v.dead {
 			continue
 		}
 		dev := v.el.GPU
@@ -456,11 +521,13 @@ func (s *Server) execute(b *batch, w *worker) {
 		pr.depth.Set(float64(s.waiting))
 	}
 	w.busy = true
+	w.inflight = b
 	rep := w.run.GemmVirtual(b.rows, b.key.n, b.key.k, 1, now)
 	if rep.Stalled {
 		// Unreachable with the pool's fault-aware runners; kept so a future
 		// fault-unaware backend drains the batch instead of failing jobs.
 		w.busy = false
+		w.inflight = nil
 		s.waiting += len(b.jobs)
 		if pr := s.probes; pr != nil {
 			pr.depth.Set(float64(s.waiting))
@@ -489,7 +556,15 @@ func (s *Server) execute(b *batch, w *worker) {
 			Drained:   b.drained,
 		}
 	}
-	s.eng.At(rep.End, func() { s.complete(b, w, now) })
+	// An element death aborts the dispatch and bumps the epoch; the stale
+	// completion event then retires nothing — the batch already requeued.
+	epoch := w.epoch
+	s.eng.At(rep.End, func() {
+		if w.epoch != epoch {
+			return
+		}
+		s.complete(b, w, now)
+	})
 }
 
 // complete retires a batch: service-rate feedback to the batcher, results
@@ -512,6 +587,7 @@ func (s *Server) complete(b *batch, w *worker, dispatchedAt sim.Time) {
 		s.finish(p.res)
 	}
 	w.busy = false
+	w.inflight = nil
 	s.pump()
 }
 
